@@ -1,0 +1,411 @@
+//! The asynchronous I/O engine: submission queue → worker pool →
+//! completion handles.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use mlp_storage::Backend;
+use mlp_tensor::PooledBuffer;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct AioConfig {
+    /// I/O worker threads (the tier's preferred I/O parallelism; a PFS
+    /// benefits from several, §3.2).
+    pub workers: usize,
+    /// Maximum queued + in-flight operations before `submit_*` blocks,
+    /// modelling a bounded kernel submission queue.
+    pub queue_depth: usize,
+}
+
+impl Default for AioConfig {
+    fn default() -> Self {
+        AioConfig {
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+enum OpKind {
+    Write(Vec<u8>),
+    /// Write from a pooled staging buffer (first `len` bytes); the buffer
+    /// returns to its pool when the op completes — the paper's explicit
+    /// pool-based allocation for asynchronous flushes (§3.5).
+    WritePooled(PooledBuffer, usize),
+    Read,
+    Delete,
+}
+
+struct Op {
+    key: String,
+    kind: OpKind,
+    state: Arc<OpState>,
+}
+
+struct OpState {
+    result: Mutex<Option<io::Result<Option<Vec<u8>>>>>,
+    done: Condvar,
+    bytes: AtomicUsize,
+}
+
+/// Completion handle for a submitted operation.
+///
+/// Reads resolve to `Ok(Some(bytes))`, writes and deletes to `Ok(None)`.
+pub struct OpHandle {
+    state: Arc<OpState>,
+}
+
+impl OpHandle {
+    /// Blocks until the operation completes and returns its result.
+    pub fn wait(self) -> io::Result<Option<Vec<u8>>> {
+        let mut guard = self.state.result.lock();
+        while guard.is_none() {
+            self.state.done.wait(&mut guard);
+        }
+        guard.take().expect("completion present")
+    }
+
+    /// Whether the operation has completed (result not yet consumed).
+    pub fn is_done(&self) -> bool {
+        self.state.result.lock().is_some()
+    }
+
+    /// Bytes moved by the operation (available after completion).
+    pub fn bytes(&self) -> usize {
+        self.state.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    busy_nanos: AtomicU64,
+    pending: AtomicUsize,
+}
+
+/// A per-tier asynchronous I/O engine.
+///
+/// Dropping the engine closes the submission queue and joins the workers;
+/// all already-submitted operations complete first.
+pub struct AioEngine {
+    tx: Option<Sender<Op>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<Stats>,
+    backend_name: String,
+}
+
+impl AioEngine {
+    /// Spawns the worker pool over `backend`.
+    pub fn new(backend: Arc<dyn Backend>, config: AioConfig) -> Self {
+        assert!(config.workers > 0, "need at least one I/O worker");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let (tx, rx) = bounded::<Op>(config.queue_depth);
+        let stats = Arc::new(Stats::default());
+        let backend_name = backend.name().to_string();
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let backend = Arc::clone(&backend);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("aio-{}-{}", backend_name, i))
+                    .spawn(move || {
+                        while let Ok(op) = rx.recv() {
+                            let t0 = Instant::now();
+                            let _pending = PendingGuard(&stats.pending);
+                            let result = match op.kind {
+                                OpKind::Write(data) => {
+                                    op.state.bytes.store(data.len(), Ordering::Relaxed);
+                                    stats.writes.fetch_add(1, Ordering::Relaxed);
+                                    stats
+                                        .write_bytes
+                                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                                    backend.write(&op.key, &data).map(|()| None)
+                                }
+                                OpKind::WritePooled(buf, len) => {
+                                    op.state.bytes.store(len, Ordering::Relaxed);
+                                    stats.writes.fetch_add(1, Ordering::Relaxed);
+                                    stats.write_bytes.fetch_add(len as u64, Ordering::Relaxed);
+                                    let result =
+                                        backend.write(&op.key, &buf.buffer().as_bytes()[..len]);
+                                    drop(buf); // staging buffer back to its pool
+                                    result.map(|()| None)
+                                }
+                                OpKind::Read => backend.read(&op.key).map(|data| {
+                                    op.state.bytes.store(data.len(), Ordering::Relaxed);
+                                    stats.reads.fetch_add(1, Ordering::Relaxed);
+                                    stats
+                                        .read_bytes
+                                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                                    Some(data)
+                                }),
+                                OpKind::Delete => backend.delete(&op.key).map(|()| None),
+                            };
+                            stats
+                                .busy_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            *op.state.result.lock() = Some(result);
+                            op.state.done.notify_all();
+                        }
+                    })
+                    .expect("spawn aio worker")
+            })
+            .collect();
+        AioEngine {
+            tx: Some(tx),
+            workers,
+            stats,
+            backend_name,
+        }
+    }
+
+    fn submit(&self, key: &str, kind: OpKind) -> OpHandle {
+        self.stats.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::new(OpState {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            bytes: AtomicUsize::new(0),
+        });
+        let op = Op {
+            key: key.to_string(),
+            kind,
+            state: Arc::clone(&state),
+        };
+        self.tx
+            .as_ref()
+            .expect("engine alive")
+            .send(op)
+            .expect("workers alive while engine exists");
+        OpHandle { state }
+    }
+
+    /// Enqueues an asynchronous write (flush) of `data` under `key`.
+    /// Blocks only if the submission queue is full.
+    pub fn submit_write(&self, key: &str, data: Vec<u8>) -> OpHandle {
+        self.submit(key, OpKind::Write(data))
+    }
+
+    /// Enqueues an asynchronous write of the first `len` bytes of a
+    /// pooled staging buffer; the buffer returns to its pool on
+    /// completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the buffer's size.
+    pub fn submit_write_pooled(&self, key: &str, buf: PooledBuffer, len: usize) -> OpHandle {
+        assert!(len <= buf.buffer().len(), "len exceeds staging buffer");
+        self.submit(key, OpKind::WritePooled(buf, len))
+    }
+
+    /// Enqueues an asynchronous read (fetch) of `key`.
+    pub fn submit_read(&self, key: &str) -> OpHandle {
+        self.submit(key, OpKind::Read)
+    }
+
+    /// Enqueues an asynchronous delete of `key`.
+    pub fn submit_delete(&self, key: &str) -> OpHandle {
+        self.submit(key, OpKind::Delete)
+    }
+
+    /// Name of the underlying backend.
+    pub fn backend_name(&self) -> &str {
+        &self.backend_name
+    }
+
+    /// (reads, writes) completed so far.
+    pub fn ops_completed(&self) -> (u64, u64) {
+        (
+            self.stats.reads.load(Ordering::Relaxed),
+            self.stats.writes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (read bytes, written bytes) moved so far.
+    pub fn bytes_moved(&self) -> (u64, u64) {
+        (
+            self.stats.read_bytes.load(Ordering::Relaxed),
+            self.stats.write_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cumulative worker busy time in seconds (sums across workers).
+    pub fn busy_seconds(&self) -> f64 {
+        self.stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Operations submitted but not yet completed.
+    pub fn pending_ops(&self) -> usize {
+        self.stats.pending.load(Ordering::SeqCst)
+    }
+
+    /// Busy-waits (with yielding) until every submitted operation has
+    /// completed — a completion barrier like `io_getevents` draining the
+    /// whole queue.
+    pub fn drain(&self) {
+        while self.pending_ops() > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Decrements the pending-op counter when a worker finishes an op,
+/// including on panic unwind.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for AioEngine {
+    fn drop(&mut self) {
+        // Close the queue; workers drain remaining ops and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_storage::MemBackend;
+
+    fn engine(workers: usize) -> AioEngine {
+        AioEngine::new(
+            Arc::new(MemBackend::new("mem")),
+            AioConfig {
+                workers,
+                queue_depth: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let e = engine(2);
+        e.submit_write("k", vec![1, 2, 3]).wait().unwrap();
+        let data = e.submit_read("k").wait().unwrap().unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        let (r, w) = e.ops_completed();
+        assert_eq!((r, w), (1, 1));
+        assert_eq!(e.bytes_moved(), (3, 3));
+    }
+
+    #[test]
+    fn many_concurrent_ops_complete() {
+        let e = engine(4);
+        let writes: Vec<OpHandle> = (0..100)
+            .map(|i| e.submit_write(&format!("k{i}"), vec![i as u8; 128]))
+            .collect();
+        for h in writes {
+            h.wait().unwrap();
+        }
+        let reads: Vec<(usize, OpHandle)> = (0..100)
+            .map(|i| (i, e.submit_read(&format!("k{i}"))))
+            .collect();
+        for (i, h) in reads {
+            let data = h.wait().unwrap().unwrap();
+            assert_eq!(data, vec![i as u8; 128]);
+        }
+    }
+
+    #[test]
+    fn pooled_writes_recycle_staging_buffers() {
+        use mlp_tensor::PinnedPool;
+        let backend = Arc::new(MemBackend::new("mem"));
+        let e = AioEngine::new(backend.clone() as Arc<dyn Backend>, AioConfig::default());
+        let pool = PinnedPool::new(2, 256);
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            // Blocks until a buffer frees, bounding staging memory.
+            let mut buf = pool.acquire();
+            buf.buffer_mut().as_bytes_mut()[..4].copy_from_slice(&[i as u8; 4]);
+            handles.push(e.submit_write_pooled(&format!("k{i}"), buf, 4));
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(pool.outstanding(), 0, "all buffers recycled");
+        assert_eq!(backend.read("k7").unwrap(), vec![7u8; 4]);
+        assert_eq!(
+            backend.read("k0").unwrap().len(),
+            4,
+            "only len bytes written"
+        );
+    }
+
+    #[test]
+    fn read_of_missing_key_is_an_error() {
+        let e = engine(1);
+        assert!(e.submit_read("nope").wait().is_err());
+    }
+
+    #[test]
+    fn delete_removes_object() {
+        let e = engine(1);
+        e.submit_write("k", vec![7]).wait().unwrap();
+        e.submit_delete("k").wait().unwrap();
+        assert!(e.submit_read("k").wait().is_err());
+    }
+
+    #[test]
+    fn drop_drains_in_flight_ops() {
+        let backend = Arc::new(MemBackend::throttled("slow", 1e9, 2e6)); // 2 MB/s writes
+        let handles: Vec<OpHandle>;
+        {
+            let e = AioEngine::new(backend.clone() as Arc<dyn Backend>, AioConfig::default());
+            handles = (0..4)
+                .map(|i| e.submit_write(&format!("k{i}"), vec![0u8; 20_000]))
+                .collect();
+            // Engine dropped here with writes likely still in flight.
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(backend.object_count(), 4);
+    }
+
+    #[test]
+    fn handles_report_completion_and_bytes() {
+        let e = engine(1);
+        let h = e.submit_write("k", vec![9; 64]);
+        h.wait().unwrap();
+        let h = e.submit_read("k");
+        let out = h.wait().unwrap().unwrap();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn drain_waits_for_all_pending_ops() {
+        let backend = Arc::new(MemBackend::throttled("slow", 1e9, 5e6));
+        let e = AioEngine::new(backend as Arc<dyn Backend>, AioConfig::default());
+        for i in 0..6 {
+            e.submit_write(&format!("k{i}"), vec![0u8; 10_000]);
+        }
+        assert!(e.pending_ops() > 0);
+        e.drain();
+        assert_eq!(e.pending_ops(), 0);
+        let (_, w) = e.ops_completed();
+        assert_eq!(w, 6);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let backend = Arc::new(MemBackend::throttled("slow", 1e9, 1e6));
+        let e = AioEngine::new(backend as Arc<dyn Backend>, AioConfig::default());
+        e.submit_write("k", vec![0u8; 50_000]).wait().unwrap(); // 50 ms
+        assert!(e.busy_seconds() > 0.03, "got {}", e.busy_seconds());
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Asynchronous I/O engine — the reproduction's libaio/DeepNVMe layer.
+//!
+//! DeepSpeed's DeepNVMe engine submits reads and writes to a kernel
+//! asynchronous-I/O queue and polls completions while the CPU computes
+//! (§3.5). This crate reproduces that architecture in portable Rust:
+//!
+//! * [`engine::AioEngine`] — a per-tier engine with a submission queue, a
+//!   configurable worker pool, bounded in-flight operations, and
+//!   completion handles ([`engine::OpHandle`]).
+//! * [`lock::ProcessExclusiveLock`] — the paper's "process-exclusive
+//!   multi-thread-shared locking mechanism": all I/O threads of one worker
+//!   process share the tier while other worker processes are excluded
+//!   (§3.2, §3.5).
+
+pub mod engine;
+pub mod lock;
+
+pub use engine::{AioConfig, AioEngine, OpHandle};
+pub use lock::ProcessExclusiveLock;

@@ -1,0 +1,247 @@
+//! Process-exclusive, multi-thread-shared tier locking (§3.2, §3.5).
+//!
+//! The concurrency-control principle: only one *worker process* on a node
+//! may access a given alternative storage at a time, so that process gets
+//! the tier's full bandwidth; but that process may use as many I/O
+//! *threads* as the tier prefers. [`ProcessExclusiveLock`] therefore keys
+//! ownership by an opaque holder id: acquisitions by the current holder are
+//! shared (reference counted), others queue FIFO by holder.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifier of a worker process (one per GPU in the paper's deployment).
+pub type HolderId = usize;
+
+struct LockState {
+    owner: Option<HolderId>,
+    shares: usize,
+    /// FIFO of distinct holders waiting for ownership.
+    queue: VecDeque<HolderId>,
+}
+
+/// A FIFO-fair lock that is exclusive across holders and shared within one.
+#[derive(Clone)]
+pub struct ProcessExclusiveLock {
+    state: Arc<(Mutex<LockState>, Condvar)>,
+}
+
+impl Default for ProcessExclusiveLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessExclusiveLock {
+    /// Creates an unowned lock.
+    pub fn new() -> Self {
+        ProcessExclusiveLock {
+            state: Arc::new((
+                Mutex::new(LockState {
+                    owner: None,
+                    shares: 0,
+                    queue: VecDeque::new(),
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Acquires a share for `holder`, blocking while a different holder
+    /// owns the lock or is ahead in the queue.
+    pub fn acquire(&self, holder: HolderId) -> TierGuard {
+        let (mutex, cv) = &*self.state;
+        let mut st = mutex.lock();
+        loop {
+            match st.owner {
+                Some(o) if o == holder => {
+                    st.shares += 1;
+                    break;
+                }
+                None if st.queue.front().is_none_or(|&h| h == holder) => {
+                    if st.queue.front() == Some(&holder) {
+                        st.queue.pop_front();
+                    }
+                    st.owner = Some(holder);
+                    st.shares = 1;
+                    break;
+                }
+                _ => {
+                    if !st.queue.contains(&holder) {
+                        st.queue.push_back(holder);
+                    }
+                    cv.wait(&mut st);
+                }
+            }
+        }
+        TierGuard {
+            lock: self.clone(),
+            holder,
+        }
+    }
+
+    /// Acquires without blocking, failing if another holder owns the lock
+    /// or holders are queued ahead.
+    pub fn try_acquire(&self, holder: HolderId) -> Option<TierGuard> {
+        let (mutex, _) = &*self.state;
+        let mut st = mutex.lock();
+        match st.owner {
+            Some(o) if o == holder => {
+                st.shares += 1;
+            }
+            None if st.queue.is_empty() || st.queue.front() == Some(&holder) => {
+                if st.queue.front() == Some(&holder) {
+                    st.queue.pop_front();
+                }
+                st.owner = Some(holder);
+                st.shares = 1;
+            }
+            _ => return None,
+        }
+        Some(TierGuard {
+            lock: self.clone(),
+            holder,
+        })
+    }
+
+    /// Holder currently owning the lock, if any.
+    pub fn owner(&self) -> Option<HolderId> {
+        self.state.0.lock().owner
+    }
+
+    fn release(&self, holder: HolderId) {
+        let (mutex, cv) = &*self.state;
+        let mut st = mutex.lock();
+        debug_assert_eq!(st.owner, Some(holder), "release by non-owner");
+        st.shares -= 1;
+        if st.shares == 0 {
+            st.owner = None;
+            cv.notify_all();
+        }
+    }
+}
+
+/// RAII share of the tier lock; drops the share (and releases ownership
+/// once no shares remain) on drop.
+pub struct TierGuard {
+    lock: ProcessExclusiveLock,
+    holder: HolderId,
+}
+
+impl TierGuard {
+    /// The holder this share belongs to.
+    pub fn holder(&self) -> HolderId {
+        self.holder
+    }
+}
+
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        self.lock.release(self.holder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn same_holder_shares() {
+        let lock = ProcessExclusiveLock::new();
+        let a = lock.acquire(1);
+        let b = lock.acquire(1); // does not deadlock
+        assert_eq!(lock.owner(), Some(1));
+        drop(a);
+        assert_eq!(lock.owner(), Some(1));
+        drop(b);
+        assert_eq!(lock.owner(), None);
+    }
+
+    #[test]
+    fn different_holders_exclude() {
+        let lock = ProcessExclusiveLock::new();
+        let _a = lock.acquire(1);
+        assert!(lock.try_acquire(2).is_none());
+        assert!(lock.try_acquire(1).is_some());
+    }
+
+    #[test]
+    fn blocked_holder_proceeds_after_release() {
+        let lock = ProcessExclusiveLock::new();
+        let g = lock.acquire(1);
+        let l2 = lock.clone();
+        let t = std::thread::spawn(move || {
+            let _g = l2.acquire(2);
+            l2.owner()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(g);
+        assert_eq!(t.join().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn exclusivity_under_contention() {
+        let lock = ProcessExclusiveLock::new();
+        let active = Arc::new(AtomicUsize::new(0));
+        let conflicts = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for holder in 0..4 {
+            let lock = lock.clone();
+            let active = Arc::clone(&active);
+            let conflicts = Arc::clone(&conflicts);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _g = lock.acquire(holder);
+                    let marker = holder + 1;
+                    let prev = active.swap(marker, Ordering::SeqCst);
+                    if prev != 0 && prev != marker {
+                        conflicts.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::yield_now();
+                    active
+                        .compare_exchange(marker, 0, Ordering::SeqCst, Ordering::SeqCst)
+                        .ok();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            conflicts.load(Ordering::SeqCst),
+            0,
+            "two holders were inside at once"
+        );
+    }
+
+    #[test]
+    fn shared_threads_of_one_holder_overlap() {
+        let lock = ProcessExclusiveLock::new();
+        let overlap = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = lock.clone();
+            let overlap = Arc::clone(&overlap);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                let _g = lock.acquire(7);
+                let n = overlap.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(n, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                overlap.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "threads of one holder must share"
+        );
+    }
+}

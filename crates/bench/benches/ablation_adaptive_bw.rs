@@ -1,0 +1,80 @@
+//! Design-choice ablation: adaptive bandwidth re-estimation (§3.3) under a
+//! drifting shared PFS. External load halves the PFS mid-run; the adaptive
+//! engine re-balances subgroups toward the NVMe while the static engine
+//! keeps overloading the slow path (DESIGN.md ablation #5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_model::Subgroup;
+use mlp_offload::sim::{NodeSimEnv, NodeSpec, SimWorker};
+use mlp_offload::EngineConfig;
+use mlp_sim::Sim;
+use mlp_storage::spec::{testbed1_nvme, testbed1_pfs};
+
+/// Runs 6 update phases; the PFS drops to 30% capacity after the second.
+/// Returns the mean update duration of the post-drift iterations.
+fn post_drift_update_secs(adaptive: bool) -> f64 {
+    let sim = Sim::new();
+    let env = NodeSimEnv::new(
+        &sim,
+        &NodeSpec {
+            tier_specs: vec![testbed1_nvme(), testbed1_pfs()],
+            gpus: 1,
+            d2h_bps: 55e9,
+            cpu_update_params_per_s: 8e9,
+            conv_bytes_per_s: 65e9,
+        },
+    );
+    let mut cfg = EngineConfig::mlp_offload();
+    cfg.adaptive_bandwidth = adaptive;
+    cfg.cache_retention = false; // isolate the allocation effect
+    let subgroups: Vec<Subgroup> = (0..40)
+        .map(|id| Subgroup {
+            id,
+            params: 100_000_000,
+        })
+        .collect();
+    let worker = SimWorker::new(env.clone(), 0, cfg, subgroups);
+
+    let mut durations = Vec::new();
+    for it in 0..6 {
+        if it == 2 {
+            env.tiers[1].set_load_factor(0.3);
+        }
+        let w = worker.clone();
+        let stats = sim.block_on(async move { w.run_update().await });
+        durations.push(stats.duration_s);
+    }
+    durations[3..].iter().sum::<f64>() / 3.0
+}
+
+fn bench(c: &mut Criterion) {
+    let adaptive = post_drift_update_secs(true);
+    let static_alloc = post_drift_update_secs(false);
+    mlp_bench::print_table(
+        "Ablation: adaptive bandwidth re-estimation under PFS load drift (40 subgroups)",
+        &["allocation", "post-drift update (s)"],
+        &[
+            vec![
+                "adaptive (EMA re-estimation)".into(),
+                format!("{adaptive:.1}"),
+            ],
+            vec![
+                "static (microbenchmark only)".into(),
+                format!("{static_alloc:.1}"),
+            ],
+        ],
+    );
+    assert!(
+        adaptive < static_alloc,
+        "adaptation must help after drift: {adaptive:.1} vs {static_alloc:.1}"
+    );
+
+    let mut g = c.benchmark_group("ablation_adaptive_bw");
+    g.sample_size(10);
+    g.bench_function("adaptive", |b| b.iter(|| post_drift_update_secs(true)));
+    g.bench_function("static", |b| b.iter(|| post_drift_update_secs(false)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Design-choice ablation: Eq. 1 proportional subgroup allocation vs an
+//! equal split vs NVMe-only (no multi-path). Proportional allocation keeps
+//! both paths finishing together; an equal split over unequal tiers makes
+//! the slow path straggle (DESIGN.md ablation #1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_model::zoo;
+use mlp_offload::EngineConfig;
+use mlp_train::driver::{run, summarize, TrainSetup};
+use mlp_train::testbed1;
+
+fn iteration_secs(tier_ratio: Option<Vec<f64>>, multipath: bool) -> f64 {
+    let tb = testbed1();
+    let mut cfg = EngineConfig::mlp_offload();
+    cfg.tier_ratio = tier_ratio;
+    cfg.adaptive_bandwidth = false;
+    let tiers = if multipath {
+        vec![tb.nvme.clone(), tb.pfs.clone()]
+    } else {
+        vec![tb.nvme.clone()]
+    };
+    let mut setup = TrainSetup::new(tb, zoo::model_70b(), cfg, tiers);
+    setup.iterations = 4;
+    let results = run(&setup);
+    summarize(&setup, &results, 2).total_s
+}
+
+fn bench(c: &mut Criterion) {
+    let proportional = iteration_secs(None, true);
+    let equal = iteration_secs(Some(vec![1.0, 1.0]), true);
+    let local_only = iteration_secs(None, false);
+    mlp_bench::print_table(
+        "Ablation: subgroup allocation policy (70B, Testbed-1, MLP-Offload engine)",
+        &["policy", "iteration (s)"],
+        &[
+            vec![
+                "Eq. 1 proportional (min-bandwidth)".into(),
+                format!("{proportional:.1}"),
+            ],
+            vec!["equal split 1:1".into(), format!("{equal:.1}")],
+            vec![
+                "NVMe only (no multi-path)".into(),
+                format!("{local_only:.1}"),
+            ],
+        ],
+    );
+    assert!(
+        proportional <= equal + 1e-9 && proportional < local_only,
+        "proportional allocation must win: {proportional:.1} vs {equal:.1} vs {local_only:.1}"
+    );
+
+    let mut g = c.benchmark_group("ablation_allocation");
+    g.sample_size(10);
+    g.bench_function("proportional", |b| b.iter(|| iteration_secs(None, true)));
+    g.bench_function("equal_split", |b| {
+        b.iter(|| iteration_secs(Some(vec![1.0, 1.0]), true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Design-choice ablation: subgroup processing order with host-frame
+//! retention enabled — the alternating order converts the retained tail
+//! into immediate hits, while repeating a fixed direction leaves the
+//! retained subgroups stranded at the far end of every pass
+//! (DESIGN.md ablation #2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_model::zoo;
+use mlp_offload::{EngineConfig, OrderPolicy};
+use mlp_train::driver::{run, summarize, TrainSetup};
+use mlp_train::testbed1;
+
+fn run_with_order(order: OrderPolicy) -> (f64, f64) {
+    let tb = testbed1();
+    let mut cfg = EngineConfig::mlp_offload();
+    cfg.order = order;
+    let mut setup = TrainSetup::new(
+        tb.clone(),
+        zoo::model_40b(),
+        cfg,
+        vec![tb.nvme.clone(), tb.pfs.clone()],
+    );
+    setup.iterations = 4;
+    let results = run(&setup);
+    let s = summarize(&setup, &results, 2);
+    (s.total_s, s.cache_hit_rate)
+}
+
+fn bench(c: &mut Criterion) {
+    let (alt_s, alt_hits) = run_with_order(OrderPolicy::Alternating);
+    let (asc_s, asc_hits) = run_with_order(OrderPolicy::Ascending);
+    let (desc_s, desc_hits) = run_with_order(OrderPolicy::Descending);
+    mlp_bench::print_table(
+        "Ablation: subgroup ordering with retention (40B, Testbed-1)",
+        &["order", "iteration (s)", "cache hit rate"],
+        &[
+            vec![
+                "alternating (MLP-Offload)".into(),
+                format!("{alt_s:.1}"),
+                format!("{:.0}%", alt_hits * 100.0),
+            ],
+            vec![
+                "always ascending".into(),
+                format!("{asc_s:.1}"),
+                format!("{:.0}%", asc_hits * 100.0),
+            ],
+            vec![
+                "always descending".into(),
+                format!("{desc_s:.1}"),
+                format!("{:.0}%", desc_hits * 100.0),
+            ],
+        ],
+    );
+    assert!(
+        alt_hits >= asc_hits && alt_hits >= desc_hits,
+        "alternating must maximize hits: {alt_hits} vs {asc_hits}/{desc_hits}"
+    );
+
+    let mut g = c.benchmark_group("ablation_ordering");
+    g.sample_size(10);
+    g.bench_function("alternating", |b| {
+        b.iter(|| run_with_order(OrderPolicy::Alternating))
+    });
+    g.bench_function("ascending", |b| {
+        b.iter(|| run_with_order(OrderPolicy::Ascending))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

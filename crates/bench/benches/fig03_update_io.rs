@@ -1,0 +1,21 @@
+//! Bench target `fig03_update_io` — regenerates Fig. 3 (update duration and I/O share) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig3_update_breakdown();
+    mlp_bench::render_fig3(&rows);
+    let mut g = c.benchmark_group("fig03_update_io");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig3_update_breakdown()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench target `fig04_concurrency` — regenerates Fig. 4 (tier throughput under concurrency) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig4_concurrency();
+    mlp_bench::render_fig4(&rows);
+    let mut g = c.benchmark_group("fig04_concurrency");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig4_concurrency()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

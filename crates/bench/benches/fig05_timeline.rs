@@ -1,0 +1,21 @@
+//! Bench target `fig05_timeline` — regenerates Fig. 5 (update-phase I/O timeline) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig5_throughput_timeline();
+    mlp_bench::render_fig5(&rows);
+    let mut g = c.benchmark_group("fig05_timeline");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig5_throughput_timeline()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

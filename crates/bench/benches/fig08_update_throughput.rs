@@ -1,0 +1,21 @@
+//! Bench target `fig08_update_throughput` — regenerates Fig. 8 (update throughput vs model size) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::model_scaling();
+    mlp_bench::render_fig8(&rows);
+    let mut g = c.benchmark_group("fig08_update_throughput");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::model_scaling()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

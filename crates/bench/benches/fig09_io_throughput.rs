@@ -1,0 +1,21 @@
+//! Bench target `fig09_io_throughput` — regenerates Fig. 9 (effective I/O throughput) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::model_scaling();
+    mlp_bench::render_fig9(&rows);
+    let mut g = c.benchmark_group("fig09_io_throughput");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::model_scaling()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench target `fig11_weak_scaling` — regenerates Fig. 11 (weak-scaling iteration time) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::weak_scaling();
+    mlp_bench::render_fig11(&rows);
+    let mut g = c.benchmark_group("fig11_weak_scaling");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::weak_scaling()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

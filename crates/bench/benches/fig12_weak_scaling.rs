@@ -1,0 +1,21 @@
+//! Bench target `fig12_weak_scaling` — regenerates Fig. 12 (weak-scaling update throughput) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::weak_scaling();
+    mlp_bench::render_fig12(&rows);
+    let mut g = c.benchmark_group("fig12_weak_scaling");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::weak_scaling()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench target `fig13_grad_accum` — regenerates Fig. 13 (gradient accumulation) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig13_grad_accumulation();
+    mlp_bench::render_fig13(&rows);
+    let mut g = c.benchmark_group("fig13_grad_accum");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig13_grad_accumulation()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

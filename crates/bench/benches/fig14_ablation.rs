@@ -1,0 +1,21 @@
+//! Bench target `fig14_ablation` — regenerates Fig. 14 (ablation, NVMe only) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig14_ablation_nvme();
+    mlp_bench::render_ablation("Fig. 14: ablation on node-local NVMe only", &rows);
+    let mut g = c.benchmark_group("fig14_ablation");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig14_ablation_nvme()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

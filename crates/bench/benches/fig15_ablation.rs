@@ -1,0 +1,21 @@
+//! Bench target `fig15_ablation` — regenerates Fig. 15 (ablation with PFS multi-path) and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::fig15_ablation_pfs();
+    mlp_bench::render_ablation("Fig. 15: ablation with PFS multi-path", &rows);
+    let mut g = c.benchmark_group("fig15_ablation");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::fig15_ablation_pfs()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

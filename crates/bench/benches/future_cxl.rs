@@ -1,0 +1,19 @@
+//! Bench target `future_cxl` — regenerates the §5 future-work CXL
+//! memory-pool extension study and the §4.4 cost-effectiveness rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    mlp_bench::render_cxl(&exp::future_cxl());
+    mlp_bench::render_cost(&exp::cost_effectiveness());
+    let mut g = c.benchmark_group("future_cxl");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::future_cxl()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

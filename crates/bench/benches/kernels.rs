@@ -1,0 +1,108 @@
+//! Real (wall-clock) kernel microbenchmarks, reported against the paper's
+//! reference numbers: FP16→FP32 conversion (65 GB/s on Testbed-1), CPU
+//! Adam updates (~8 000 Mparam/s), the asynchronous I/O engine, and the
+//! DES executor overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlp_aio::engine::{AioConfig, AioEngine};
+use mlp_optim::adam::{adam_step_par, AdamConfig};
+use mlp_storage::{Backend, MemBackend};
+use mlp_tensor::convert;
+
+fn conversion(c: &mut Criterion) {
+    let n = 1 << 22; // 4M elements = 8 MiB of FP16
+    let src: Vec<u16> = (0..n as u32).map(|i| (i % 60000) as u16).collect();
+    let mut dst = vec![0.0f32; n];
+    let mut g = c.benchmark_group("fp16_upscale");
+    g.throughput(Throughput::Bytes((n * 2) as u64));
+    g.bench_function("scalar", |b| b.iter(|| convert::upscale(&src, &mut dst)));
+    g.bench_function("parallel", |b| {
+        b.iter(|| convert::upscale_par(&src, &mut dst))
+    });
+    g.finish();
+
+    let mut half = vec![0u16; n];
+    let mut g = c.benchmark_group("fp32_downscale");
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    g.bench_function("parallel", |b| {
+        b.iter(|| convert::downscale_par(&dst, &mut half))
+    });
+    g.finish();
+}
+
+fn adam(c: &mut Criterion) {
+    let n = 1 << 22;
+    let cfg = AdamConfig::default();
+    let mut p = vec![0.1f32; n];
+    let mut m = vec![0.0f32; n];
+    let mut v = vec![0.0f32; n];
+    let grads = vec![0.01f32; n];
+    let mut step = 0u64;
+    let mut g = c.benchmark_group("cpu_adam");
+    // Elements/second ≈ parameters/second (paper reference: 8e9 on 96
+    // cores).
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            step += 1;
+            adam_step_par(&cfg, step, &mut p, &mut m, &mut v, &grads);
+        })
+    });
+    g.finish();
+}
+
+fn aio(c: &mut Criterion) {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new("mem"));
+    let engine = AioEngine::new(
+        backend,
+        AioConfig {
+            workers: 4,
+            queue_depth: 64,
+        },
+    );
+    let payload = vec![0xABu8; 1 << 20]; // 1 MiB objects
+    let mut g = c.benchmark_group("aio_engine");
+    g.throughput(Throughput::Bytes(16 << 20));
+    g.bench_function("write16_read16", |b| {
+        b.iter(|| {
+            let writes: Vec<_> = (0..16)
+                .map(|i| engine.submit_write(&format!("k{i}"), payload.clone()))
+                .collect();
+            for w in writes {
+                w.wait().unwrap();
+            }
+            let reads: Vec<_> = (0..16)
+                .map(|i| engine.submit_read(&format!("k{i}")))
+                .collect();
+            for r in reads {
+                std::hint::black_box(r.wait().unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn des_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_executor");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("10k_timer_events", |b| {
+        b.iter(|| {
+            let sim = mlp_sim::Sim::new();
+            for i in 0..100u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for k in 0..100u64 {
+                        s.sleep_ns(1 + (i * 37 + k) % 1000).await;
+                    }
+                });
+            }
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, conversion, adam, aio, des_executor);
+criterion_main!(benches);

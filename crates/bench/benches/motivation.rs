@@ -1,0 +1,21 @@
+//! Bench target `motivation` — regenerates the §3.1 motivation comparison and times the full
+//! experiment run (deterministic virtual-time simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output carries the
+    // figure's data series.
+    let rows = exp::motivation();
+    mlp_bench::render_motivation(&rows);
+    let mut g = c.benchmark_group("motivation");
+    g.sample_size(10);
+    g.bench_function("generate", |b| {
+        b.iter(|| std::hint::black_box(exp::motivation()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

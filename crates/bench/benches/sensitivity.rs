@@ -1,0 +1,19 @@
+//! Bench target `sensitivity` — subgroup-size and host-cache sweeps
+//! (the §4.1 configuration choices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_train::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    mlp_bench::render_subgroup_sweep(&exp::subgroup_size_sweep());
+    mlp_bench::render_cache_sweep(&exp::cache_sweep());
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    g.bench_function("cache_sweep", |b| {
+        b.iter(|| std::hint::black_box(exp::cache_sweep()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Checkpoint pre-staging accounting (§3.3).
+//!
+//! A side benefit of multi-path offloading: subgroups that live on
+//! *persistent* tiers (NVMe, PFS, object store) at an iteration boundary
+//! are already durable, so an asynchronous multi-tier checkpointing engine
+//! (the paper cites DataStates-LLM) only needs to flush the host- and
+//! GPU-resident remainder. This module quantifies that saving.
+
+use mlp_storage::TierSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::TierDistribution;
+
+/// Where one subgroup's state lives inside a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubgroupLocation {
+    /// Copied into the checkpoint target under this key.
+    Target {
+        /// Object key in the checkpoint target.
+        key: String,
+    },
+    /// Already durable on a third-level tier (pre-staged, §3.3); the
+    /// checkpoint references it instead of copying. Valid until the next
+    /// update phase rewrites the tier object — the window in which the
+    /// paper's asynchronous checkpoint engine completes its flush.
+    Prestaged {
+        /// Tier index within the engine's virtual tier.
+        tier: usize,
+        /// Object key on that tier.
+        key: String,
+    },
+}
+
+/// A functional-mode checkpoint: enough to rebuild a worker's engine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// User-chosen tag.
+    pub tag: String,
+    /// Worker id the checkpoint belongs to.
+    pub worker_id: usize,
+    /// Global optimizer step at checkpoint time.
+    pub step: u64,
+    /// Completed iterations at checkpoint time.
+    pub iter: u64,
+    /// Per-subgroup state locations, in id order.
+    pub subgroups: Vec<SubgroupLocation>,
+}
+
+impl CheckpointManifest {
+    /// Object key under which the manifest itself is stored.
+    pub fn manifest_key(tag: &str, worker_id: usize) -> String {
+        format!("ckpt/{tag}/w{worker_id}/manifest")
+    }
+
+    /// Object key for a copied subgroup.
+    pub fn subgroup_key(tag: &str, worker_id: usize, idx: usize) -> String {
+        format!("ckpt/{tag}/w{worker_id}/sub{idx}")
+    }
+}
+
+/// Byte accounting of one checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Bytes copied into the checkpoint target (host-resident state).
+    pub copied_bytes: u64,
+    /// Bytes referenced in place on persistent tiers (no copy needed).
+    pub prestaged_bytes: u64,
+}
+
+impl CheckpointStats {
+    /// Fraction of the state that did not need copying.
+    pub fn prestaged_fraction(&self) -> f64 {
+        let total = self.copied_bytes + self.prestaged_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.prestaged_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// How much of the optimizer state a checkpoint still has to move.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrestageReport {
+    /// Bytes already on persistent tiers (pre-staged "for free").
+    pub prestaged_bytes: u64,
+    /// Bytes that the checkpoint engine must still flush (host-resident
+    /// state plus anything on non-persistent tiers).
+    pub remaining_bytes: u64,
+}
+
+impl PrestageReport {
+    /// Computes the report from a worker's current state distribution and
+    /// the tier specifications (index-aligned with
+    /// [`TierDistribution::tier_bytes`]).
+    pub fn from_distribution(dist: &TierDistribution, specs: &[TierSpec]) -> Self {
+        assert_eq!(
+            dist.tier_bytes.len(),
+            specs.len(),
+            "distribution and specs must align"
+        );
+        let mut prestaged = 0;
+        let mut remaining = dist.host_bytes;
+        for (bytes, spec) in dist.tier_bytes.iter().zip(specs) {
+            if spec.kind.is_persistent() {
+                prestaged += bytes;
+            } else {
+                remaining += bytes;
+            }
+        }
+        PrestageReport {
+            prestaged_bytes: prestaged,
+            remaining_bytes: remaining,
+        }
+    }
+
+    /// Fraction of the optimizer state already persistent (0 when empty).
+    pub fn prestaged_fraction(&self) -> f64 {
+        let total = self.prestaged_bytes + self.remaining_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.prestaged_bytes as f64 / total as f64
+        }
+    }
+
+    /// Seconds a checkpoint flush of the remainder takes at
+    /// `flush_bps` bytes/second.
+    pub fn checkpoint_flush_secs(&self, flush_bps: f64) -> f64 {
+        assert!(flush_bps > 0.0, "flush bandwidth must be positive");
+        self.remaining_bytes as f64 / flush_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_storage::spec::{testbed1_nvme, testbed1_pfs};
+
+    #[test]
+    fn everything_on_persistent_tiers_is_prestaged() {
+        let dist = TierDistribution {
+            host_bytes: 0,
+            tier_bytes: vec![600, 400],
+        };
+        let r = PrestageReport::from_distribution(&dist, &[testbed1_nvme(), testbed1_pfs()]);
+        assert_eq!(r.prestaged_bytes, 1000);
+        assert_eq!(r.remaining_bytes, 0);
+        assert_eq!(r.prestaged_fraction(), 1.0);
+    }
+
+    #[test]
+    fn host_resident_state_must_still_flush() {
+        let dist = TierDistribution {
+            host_bytes: 250,
+            tier_bytes: vec![750],
+        };
+        let r = PrestageReport::from_distribution(&dist, &[testbed1_nvme()]);
+        assert_eq!(r.prestaged_fraction(), 0.75);
+        assert_eq!(r.checkpoint_flush_secs(250.0), 1.0);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero_fraction() {
+        let dist = TierDistribution {
+            host_bytes: 0,
+            tier_bytes: vec![0],
+        };
+        let r = PrestageReport::from_distribution(&dist, &[testbed1_nvme()]);
+        assert_eq!(r.prestaged_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Engine configuration, presets, and the ablation ladder.
+//!
+//! One configurable engine covers the whole spectrum the paper evaluates:
+//! with every optimization off and a single tier it behaves like DeepSpeed
+//! ZeRO-3 + DeepNVMe (Fig. 6 top); progressively enabling the three design
+//! principles and multi-path I/O reproduces the Fig. 14/15 ablation and
+//! ends at full MLP-Offload (Fig. 6 bottom).
+//!
+//! Mirroring §3.5 ("MLP-Offload can be enabled and configured via two JSON
+//! key-value pairs in the DeepSpeed runtime configuration"), a config can
+//! be parsed from a DeepSpeed-style JSON snippet, e.g.:
+//!
+//! ```json
+//! { "mlp_offload": { "tiers": ["/local/nvme", "/lustre/run"], "ratio": "2:1" } }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::allocation::parse_ratio;
+use crate::policy::ordering::OrderPolicy;
+
+/// Full engine configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Subgroup processing order per iteration.
+    pub order: OrderPolicy,
+    /// Whether surplus host frames retain subgroups across iterations
+    /// ("Enable Caching").
+    pub cache_retention: bool,
+    /// Total host frames per worker (subgroup-sized pinned buffers). At
+    /// least 3 are used for the pipeline regardless.
+    pub host_frames: usize,
+    /// In-flight pipeline depth (prefetch + update + flush).
+    pub pipeline_depth: usize,
+    /// Keep FP16 gradients in host memory and upscale during the update
+    /// ("Skip Gradients" / delayed in-place conversion). When `false`,
+    /// gradients are eagerly upscaled to FP32 during the backward pass and
+    /// moved through storage like DeepSpeed does.
+    pub skip_gradient_offload: bool,
+    /// Node-level tier-exclusive locking ("Process Atomic R/W").
+    pub tier_exclusive_locking: bool,
+    /// Re-estimate tier bandwidths from observed transfers each iteration
+    /// (§3.3 adaptation).
+    pub adaptive_bandwidth: bool,
+    /// Optional user-specified tier weights overriding measured bandwidths
+    /// (the "2:1" split of §3.5). `None` uses measured bandwidths (Eq. 1).
+    pub tier_ratio: Option<Vec<f64>>,
+}
+
+impl EngineConfig {
+    /// The DeepSpeed ZeRO-3 + DeepNVMe baseline: sequential order, cache
+    /// thrashing, eager FP32 gradient offload, uncoordinated tier access.
+    /// Combine with a single (NVMe) tier.
+    pub fn deepspeed_zero3() -> Self {
+        EngineConfig {
+            order: OrderPolicy::Ascending,
+            cache_retention: false,
+            host_frames: 3,
+            pipeline_depth: 3,
+            skip_gradient_offload: false,
+            tier_exclusive_locking: false,
+            adaptive_bandwidth: false,
+            tier_ratio: None,
+        }
+    }
+
+    /// Full MLP-Offload: all four design principles on.
+    pub fn mlp_offload() -> Self {
+        EngineConfig {
+            order: OrderPolicy::Alternating,
+            cache_retention: true,
+            host_frames: 3,
+            pipeline_depth: 3,
+            skip_gradient_offload: true,
+            tier_exclusive_locking: true,
+            adaptive_bandwidth: true,
+            tier_ratio: None,
+        }
+    }
+
+    /// Sets the host frame budget (from the memory estimator).
+    pub fn with_host_frames(mut self, frames: usize) -> Self {
+        self.host_frames = frames;
+        self
+    }
+
+    /// Sets an explicit tier ratio (e.g. from `"2:1"`).
+    pub fn with_tier_ratio(mut self, ratio: Vec<f64>) -> Self {
+        self.tier_ratio = Some(ratio);
+        self
+    }
+
+    /// Parses the §3.5 DeepSpeed-style JSON configuration. Returns the
+    /// engine config plus the tier directory list.
+    pub fn from_deepspeed_json(json: &str) -> Result<(Self, Vec<String>), String> {
+        #[derive(Deserialize)]
+        struct Root {
+            mlp_offload: Section,
+        }
+        #[derive(Deserialize)]
+        struct Section {
+            tiers: Vec<String>,
+            #[serde(default)]
+            ratio: Option<String>,
+        }
+        let root: Root =
+            serde_json::from_str(json).map_err(|e| format!("bad mlp_offload config: {e}"))?;
+        if root.mlp_offload.tiers.is_empty() {
+            return Err("mlp_offload.tiers must list at least one directory".into());
+        }
+        let mut cfg = EngineConfig::mlp_offload();
+        if let Some(r) = &root.mlp_offload.ratio {
+            let weights = parse_ratio(r)?;
+            if weights.len() != root.mlp_offload.tiers.len() {
+                return Err(format!(
+                    "ratio {r:?} has {} components for {} tiers",
+                    weights.len(),
+                    root.mlp_offload.tiers.len()
+                ));
+            }
+            cfg.tier_ratio = Some(weights);
+        }
+        Ok((cfg, root.mlp_offload.tiers))
+    }
+}
+
+/// The Fig. 14/15 progressive-activation ladder. Each stage includes all
+/// previous ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AblationStage {
+    /// DeepSpeed ZeRO-3 baseline.
+    Baseline,
+    /// + cache-friendly subgroup reordering.
+    EnableCaching,
+    /// + delayed in-place mixed-precision gradient conversion.
+    SkipGradients,
+    /// + tier-exclusive concurrency control (= full MLP-Offload when
+    ///   multi-path tiers are configured).
+    ProcessAtomicRw,
+}
+
+impl AblationStage {
+    /// All stages in activation order.
+    pub fn ladder() -> [AblationStage; 4] {
+        [
+            AblationStage::Baseline,
+            AblationStage::EnableCaching,
+            AblationStage::SkipGradients,
+            AblationStage::ProcessAtomicRw,
+        ]
+    }
+
+    /// The engine configuration with this stage's optimizations active.
+    pub fn config(self) -> EngineConfig {
+        let mut cfg = EngineConfig::deepspeed_zero3();
+        if self >= AblationStage::EnableCaching {
+            cfg.order = OrderPolicy::Alternating;
+            cfg.cache_retention = true;
+        }
+        if self >= AblationStage::SkipGradients {
+            cfg.skip_gradient_offload = true;
+        }
+        if self >= AblationStage::ProcessAtomicRw {
+            cfg.tier_exclusive_locking = true;
+            cfg.adaptive_bandwidth = true;
+        }
+        cfg
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationStage::Baseline => "DeepSpeed ZeRO-3",
+            AblationStage::EnableCaching => "+ Enable Caching",
+            AblationStage::SkipGradients => "+ Skip Gradients",
+            AblationStage::ProcessAtomicRw => "+ Process Atomic R/W",
+        }
+    }
+}
+
+impl PartialOrd for AblationStage {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AblationStage {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_all_four_principles() {
+        let ds = EngineConfig::deepspeed_zero3();
+        let mlp = EngineConfig::mlp_offload();
+        assert_ne!(ds.order, mlp.order);
+        assert!(!ds.cache_retention && mlp.cache_retention);
+        assert!(!ds.skip_gradient_offload && mlp.skip_gradient_offload);
+        assert!(!ds.tier_exclusive_locking && mlp.tier_exclusive_locking);
+    }
+
+    #[test]
+    fn ablation_ladder_is_monotone() {
+        let ladder = AblationStage::ladder();
+        for w in ladder.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(ladder[0].config(), EngineConfig::deepspeed_zero3());
+        let top = ladder[3].config();
+        let mlp = EngineConfig::mlp_offload();
+        assert_eq!(top, mlp);
+    }
+
+    #[test]
+    fn json_config_parses_tiers_and_ratio() {
+        let json =
+            r#"{ "mlp_offload": { "tiers": ["/local/nvme", "/lustre/run"], "ratio": "2:1" } }"#;
+        let (cfg, tiers) = EngineConfig::from_deepspeed_json(json).unwrap();
+        assert_eq!(tiers, vec!["/local/nvme", "/lustre/run"]);
+        assert_eq!(cfg.tier_ratio, Some(vec![2.0, 1.0]));
+        assert!(cfg.skip_gradient_offload);
+    }
+
+    #[test]
+    fn json_config_without_ratio_uses_measured_bandwidths() {
+        let json = r#"{ "mlp_offload": { "tiers": ["/a"] } }"#;
+        let (cfg, tiers) = EngineConfig::from_deepspeed_json(json).unwrap();
+        assert_eq!(tiers.len(), 1);
+        assert_eq!(cfg.tier_ratio, None);
+    }
+
+    #[test]
+    fn json_config_rejects_mismatched_ratio() {
+        let json = r#"{ "mlp_offload": { "tiers": ["/a", "/b", "/c"], "ratio": "2:1" } }"#;
+        assert!(EngineConfig::from_deepspeed_json(json).is_err());
+        let json = r#"{ "mlp_offload": { "tiers": [] } }"#;
+        assert!(EngineConfig::from_deepspeed_json(json).is_err());
+    }
+}

@@ -1,0 +1,716 @@
+//! Real-bytes offloading engine over [`mlp_aio`] and storage backends.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::Arc;
+
+use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
+use mlp_aio::lock::ProcessExclusiveLock;
+use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
+use mlp_optim::SubgroupState;
+use mlp_storage::Backend;
+
+use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
+use crate::config::EngineConfig;
+use crate::policy::allocation::{allocate_counts, assign_subgroups};
+use crate::policy::cache::FramePlan;
+use crate::stats::TierDistribution;
+
+/// A storage tier shared by all worker engines on a node: the backend, the
+/// node-level process-exclusive lock, and the allocation weight (measured
+/// bandwidth or configured ratio component).
+#[derive(Clone)]
+pub struct SharedTier {
+    /// The byte store.
+    pub backend: Arc<dyn Backend>,
+    /// Node-level tier lock ("Process Atomic R/W").
+    pub lock: ProcessExclusiveLock,
+    /// Eq. 1 weight (bytes/second or ratio component).
+    pub weight: f64,
+}
+
+impl SharedTier {
+    /// Creates a shared tier over `backend` with allocation `weight`.
+    pub fn new(backend: Arc<dyn Backend>, weight: f64) -> Self {
+        SharedTier {
+            backend,
+            lock: ProcessExclusiveLock::new(),
+            weight,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Placement {
+    Host,
+    Tier(usize),
+}
+
+struct TierRt {
+    engine: AioEngine,
+    lock: ProcessExclusiveLock,
+    weight: f64,
+}
+
+/// Result of one update phase.
+pub struct UpdateOutcome {
+    /// Updated FP16 parameters per subgroup id (what the GPU receives).
+    pub fp16_params: Vec<Vec<u16>>,
+    /// Subgroups served from the host cache.
+    pub cache_hits: usize,
+    /// Subgroups fetched from storage.
+    pub fetches: usize,
+    /// Subgroups flushed to storage.
+    pub flushes: usize,
+}
+
+/// One worker's functional MLP-Offload engine.
+///
+/// The control flow mirrors the simulated engine: alternating (or
+/// configured) subgroup order, host-frame retention of the order's tail,
+/// Eq. 1 deficit-based flush placement, lookahead prefetching through the
+/// per-tier asynchronous I/O engines, and delayed FP16→FP32 gradient
+/// conversion at update time.
+pub struct MlpFuncEngine {
+    cfg: EngineConfig,
+    optimizer: OptimizerConfig,
+    worker_id: usize,
+    tiers: Vec<TierRt>,
+    plan: FramePlan,
+    subgroup_lens: Vec<usize>,
+    placement: Vec<Placement>,
+    /// Host-resident subgroups in least-recently-updated order (front =
+    /// next eviction victim).
+    resident: Vec<(usize, SubgroupState)>,
+    /// FP16 gradient accumulation buffers (host), one per subgroup.
+    accum: mlp_optim::accum::GradAccumulator,
+    step: u64,
+    iter: u64,
+    inv_loss_scale: f32,
+    /// Optional global gradient-norm clipping threshold.
+    grad_clip_max_norm: Option<f64>,
+}
+
+impl MlpFuncEngine {
+    /// Creates the engine and offloads the initial optimizer state across
+    /// the tiers per Eq. 1 (retaining nothing: the cache warms up during
+    /// training, as in the paper's cold start).
+    pub fn new(
+        cfg: EngineConfig,
+        optimizer: impl Into<OptimizerConfig>,
+        shared_tiers: &[SharedTier],
+        worker_id: usize,
+        initial: Vec<SubgroupState>,
+    ) -> io::Result<Self> {
+        let optimizer = optimizer.into();
+        assert!(!shared_tiers.is_empty(), "need at least one tier");
+        if let Some(ratio) = &cfg.tier_ratio {
+            assert_eq!(ratio.len(), shared_tiers.len(), "ratio/tier mismatch");
+        }
+        let tiers: Vec<TierRt> = shared_tiers
+            .iter()
+            .map(|t| TierRt {
+                engine: AioEngine::new(Arc::clone(&t.backend), AioConfig::default()),
+                lock: t.lock.clone(),
+                weight: t.weight,
+            })
+            .collect();
+        let weights: Vec<f64> = match &cfg.tier_ratio {
+            Some(r) => r.clone(),
+            None => tiers.iter().map(|t| t.weight).collect(),
+        };
+        let m = initial.len();
+        let assignment = assign_subgroups(m, &weights);
+        let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
+        let plan = FramePlan::new(cfg.host_frames, cfg.pipeline_depth, cfg.cache_retention);
+
+        let engine = MlpFuncEngine {
+            accum: mlp_optim::accum::GradAccumulator::new(&subgroup_lens),
+            plan,
+            placement: assignment.iter().copied().map(Placement::Tier).collect(),
+            resident: Vec::new(),
+            subgroup_lens,
+            tiers,
+            cfg,
+            optimizer,
+            worker_id,
+            step: 0,
+            iter: 0,
+            inv_loss_scale: 1.0,
+            grad_clip_max_norm: None,
+        };
+
+        // Initial population: synchronous writes (not part of any measured
+        // iteration).
+        let mut handles = Vec::new();
+        for (idx, state) in initial.iter().enumerate() {
+            let tier = assignment[idx];
+            let _g = engine.tiers[tier].lock.acquire(engine.worker_id);
+            handles.push(
+                engine.tiers[tier]
+                    .engine
+                    .submit_write(&engine.key(idx), state.to_buffer().into_bytes()),
+            );
+        }
+        for h in handles {
+            h.wait()?;
+        }
+        Ok(engine)
+    }
+
+    /// Sets the inverse loss scale applied to gradients before the update.
+    pub fn set_inv_loss_scale(&mut self, inv: f32) {
+        self.inv_loss_scale = inv;
+    }
+
+    /// Enables global gradient-norm clipping at `max_norm` (the one
+    /// cross-subgroup coupling; the norm is computed from the host
+    /// FP16 accumulation buffers before the pipeline starts, so subgroup
+    /// order independence is preserved).
+    pub fn set_grad_clip(&mut self, max_norm: Option<f64>) {
+        self.grad_clip_max_norm = max_norm;
+    }
+
+    /// The configured optimizer.
+    pub fn optimizer(&self) -> &OptimizerConfig {
+        &self.optimizer
+    }
+
+    /// Number of subgroups.
+    pub fn num_subgroups(&self) -> usize {
+        self.subgroup_lens.len()
+    }
+
+    /// Completed update phases.
+    pub fn iterations_done(&self) -> u64 {
+        self.iter
+    }
+
+    fn key(&self, idx: usize) -> String {
+        format!("w{}/sub{}", self.worker_id, idx)
+    }
+
+    /// Accumulates one backward micro-step's FP16 gradients (one slice of
+    /// bits per subgroup, in subgroup-id order). Gradients stay in host
+    /// memory in FP16 — nothing touches storage (the "Skip Gradients"
+    /// principle).
+    pub fn accumulate_gradients(&mut self, grads: &[Vec<u16>]) {
+        assert_eq!(
+            grads.len(),
+            self.subgroup_lens.len(),
+            "gradient set mismatch"
+        );
+        for (idx, g) in grads.iter().enumerate() {
+            self.accum.accumulate(idx, g);
+        }
+        self.accum.end_micro_step();
+    }
+
+    /// Runs one update phase: fetch → delayed-upscale → Adam → flush or
+    /// retain, in the configured subgroup order with lookahead
+    /// prefetching. Returns the new FP16 parameters per subgroup id.
+    pub fn update(&mut self) -> io::Result<UpdateOutcome> {
+        let m = self.subgroup_lens.len();
+        let order = self.cfg.order.order(self.iter, m);
+        let retain_capacity = self.plan.retain_frames;
+        let weights: Vec<f64> = match &self.cfg.tier_ratio {
+            Some(r) => r.clone(),
+            None => self.tiers.iter().map(|t| t.weight).collect(),
+        };
+        // Eq. 1 proportions; actual flush count depends on cache hits.
+        let flush_targets = allocate_counts(m.max(1), &weights);
+        let mut flush_done = vec![0usize; self.tiers.len()];
+
+        self.step += 1;
+        // Global gradient-norm clipping folds into the inverse loss scale
+        // for this update.
+        let inv_scale = match self.grad_clip_max_norm {
+            None => self.inv_loss_scale,
+            Some(max_norm) => {
+                let sq: f64 = (0..m)
+                    .map(|idx| fp16_grad_sq_norm(self.accum.grads(idx), self.inv_loss_scale))
+                    .sum();
+                self.inv_loss_scale * grad_clip_factor(sq, max_norm)
+            }
+        };
+        let mut outcome = UpdateOutcome {
+            fp16_params: vec![Vec::new(); m],
+            cache_hits: 0,
+            fetches: 0,
+            flushes: 0,
+        };
+
+        // Lookahead prefetch: keep up to `pipeline_depth` reads in flight.
+        let depth = self.plan.pipeline_frames;
+        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
+        let mut next_to_submit = 0usize;
+        // In-flight flushes keyed by subgroup: a read of the same subgroup
+        // later in this iteration (possible when an eviction precedes its
+        // visit) must fence on the flush, or it could overtake it on
+        // another I/O worker and fetch stale state.
+        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
+
+        for _ in 0..m {
+            // Top up the prefetch window.
+            while next_to_submit < m && pending.len() < depth {
+                let idx = order[next_to_submit];
+                next_to_submit += 1;
+                if self.resident.iter().any(|(i, _)| *i == idx) {
+                    pending.push_back((idx, None));
+                } else {
+                    let Placement::Tier(t) = self.placement[idx] else {
+                        unreachable!("non-resident subgroup must be on a tier")
+                    };
+                    if let Some(h) = inflight_flush.remove(&idx) {
+                        h.wait()?; // write-after-evict fence
+                    }
+                    let handle = {
+                        // Tier lock held across submission (the transfer
+                        // itself is exercised exclusively in the simulated
+                        // engine; see module docs).
+                        let _g = if self.cfg.tier_exclusive_locking {
+                            Some(self.tiers[t].lock.acquire(self.worker_id))
+                        } else {
+                            None
+                        };
+                        self.tiers[t].engine.submit_read(&self.key(idx))
+                    };
+                    pending.push_back((idx, Some(handle)));
+                }
+            }
+
+            let (idx, handle) = pending.pop_front().expect("window non-empty");
+            let mut state = match handle {
+                None => {
+                    outcome.cache_hits += 1;
+                    let pos = self
+                        .resident
+                        .iter()
+                        .position(|(i, _)| *i == idx)
+                        .expect("resident state present");
+                    self.resident.remove(pos).1
+                }
+                Some(h) => {
+                    outcome.fetches += 1;
+                    let bytes = h.wait()?.expect("read returns data");
+                    SubgroupState::from_bytes(&bytes, self.step - 1)
+                }
+            };
+
+            // Delayed in-place mixed-precision conversion + optimizer step.
+            state.apply_update_fp16_opt(&self.optimizer, self.accum.grads(idx), inv_scale);
+            outcome.fp16_params[idx] = state.fp16_params();
+
+            // LRU retention (mirrors the simulated engine): keep the
+            // updated subgroup resident; evict the least-recently-updated
+            // one when over budget.
+            let mut to_flush: Option<(usize, SubgroupState)> = None;
+            if retain_capacity > 0 {
+                self.placement[idx] = Placement::Host;
+                self.resident.push((idx, state));
+                if self.resident.len() > retain_capacity {
+                    to_flush = Some(self.resident.remove(0));
+                }
+            } else {
+                to_flush = Some((idx, state));
+            }
+            if let Some((fidx, fstate)) = to_flush {
+                let tier = (0..self.tiers.len())
+                    .filter(|&t| flush_targets[t] > 0)
+                    .min_by(|&a, &b| {
+                        let fa = flush_done[a] as f64 / flush_targets[a] as f64;
+                        let fb = flush_done[b] as f64 / flush_targets[b] as f64;
+                        fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                    })
+                    .unwrap_or(0);
+                flush_done[tier] += 1;
+                self.placement[fidx] = Placement::Tier(tier);
+                let handle = {
+                    let _g = if self.cfg.tier_exclusive_locking {
+                        Some(self.tiers[tier].lock.acquire(self.worker_id))
+                    } else {
+                        None
+                    };
+                    self.tiers[tier]
+                        .engine
+                        .submit_write(&self.key(fidx), fstate.to_buffer().into_bytes())
+                };
+                inflight_flush.insert(fidx, handle);
+                outcome.flushes += 1;
+            }
+        }
+
+        for (_, h) in inflight_flush {
+            h.wait()?;
+        }
+        self.accum.reset();
+        self.iter += 1;
+        Ok(outcome)
+    }
+
+    /// Gathers the FP32 master parameters of every subgroup (reads through
+    /// the storage tiers; used for verification and checkpointing).
+    pub fn master_params(&self) -> io::Result<Vec<Vec<f32>>> {
+        let mut out = Vec::with_capacity(self.subgroup_lens.len());
+        for idx in 0..self.subgroup_lens.len() {
+            match self.placement[idx] {
+                Placement::Host => out.push(
+                    self.resident
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .expect("resident state present")
+                        .1
+                        .params
+                        .clone(),
+                ),
+                Placement::Tier(t) => {
+                    let bytes = self.tiers[t]
+                        .engine
+                        .submit_read(&self.key(idx))
+                        .wait()?
+                        .expect("read returns data");
+                    out.push(SubgroupState::from_bytes(&bytes, self.step).params);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a checkpoint of this worker's optimizer state to `target`.
+    ///
+    /// Host-resident subgroups are copied; subgroups already sitting on a
+    /// third-level tier are *pre-staged* (§3.3) and only referenced,
+    /// unless `materialize` forces a copy (producing a checkpoint that
+    /// stays valid after further training rewrites the tiers).
+    pub fn checkpoint(
+        &self,
+        target: &dyn mlp_storage::Backend,
+        tag: &str,
+        materialize: bool,
+    ) -> io::Result<(CheckpointManifest, CheckpointStats)> {
+        let mut stats = CheckpointStats::default();
+        let mut subgroups = Vec::with_capacity(self.subgroup_lens.len());
+        for idx in 0..self.subgroup_lens.len() {
+            let key = CheckpointManifest::subgroup_key(tag, self.worker_id, idx);
+            match self.placement[idx] {
+                Placement::Host => {
+                    let state = &self
+                        .resident
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .expect("resident state present")
+                        .1;
+                    let bytes = state.to_buffer().into_bytes();
+                    stats.copied_bytes += bytes.len() as u64;
+                    target.write(&key, &bytes)?;
+                    subgroups.push(SubgroupLocation::Target { key });
+                }
+                Placement::Tier(t) => {
+                    let tier_key = self.key(idx);
+                    if materialize {
+                        let bytes = self.tiers[t]
+                            .engine
+                            .submit_read(&tier_key)
+                            .wait()?
+                            .expect("read returns data");
+                        stats.copied_bytes += bytes.len() as u64;
+                        target.write(&key, &bytes)?;
+                        subgroups.push(SubgroupLocation::Target { key });
+                    } else {
+                        stats.prestaged_bytes += self.subgroup_lens[idx] as u64 * 12;
+                        subgroups.push(SubgroupLocation::Prestaged {
+                            tier: t,
+                            key: tier_key,
+                        });
+                    }
+                }
+            }
+        }
+        let manifest = CheckpointManifest {
+            tag: tag.to_string(),
+            worker_id: self.worker_id,
+            step: self.step,
+            iter: self.iter,
+            subgroups,
+        };
+        let body = serde_json::to_vec(&manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        target.write(
+            &CheckpointManifest::manifest_key(tag, self.worker_id),
+            &body,
+        )?;
+        Ok((manifest, stats))
+    }
+
+    /// Rebuilds a worker engine from a checkpoint written by
+    /// [`MlpFuncEngine::checkpoint`]. `shared_tiers` must be the same tier
+    /// set (pre-staged references are resolved against it).
+    pub fn restore(
+        cfg: EngineConfig,
+        optimizer: impl Into<OptimizerConfig>,
+        shared_tiers: &[SharedTier],
+        worker_id: usize,
+        target: &dyn mlp_storage::Backend,
+        tag: &str,
+    ) -> io::Result<Self> {
+        let body = target.read(&CheckpointManifest::manifest_key(tag, worker_id))?;
+        let manifest: CheckpointManifest = serde_json::from_slice(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut states = Vec::with_capacity(manifest.subgroups.len());
+        for loc in &manifest.subgroups {
+            let bytes = match loc {
+                SubgroupLocation::Target { key } => target.read(key)?,
+                SubgroupLocation::Prestaged { tier, key } => {
+                    shared_tiers[*tier].backend.read(key)?
+                }
+            };
+            states.push(SubgroupState::from_bytes(&bytes, manifest.step));
+        }
+        let mut engine = MlpFuncEngine::new(cfg, optimizer, shared_tiers, worker_id, states)?;
+        engine.step = manifest.step;
+        engine.iter = manifest.iter;
+        Ok(engine)
+    }
+
+    /// Where each subgroup's state lives right now (Fig. 10, functional
+    /// mode).
+    pub fn tier_distribution(&self) -> TierDistribution {
+        let mut dist = TierDistribution {
+            host_bytes: 0,
+            tier_bytes: vec![0; self.tiers.len()],
+        };
+        for (idx, p) in self.placement.iter().enumerate() {
+            let bytes = self.subgroup_lens[idx] as u64 * 12;
+            match p {
+                Placement::Host => dist.host_bytes += bytes,
+                Placement::Tier(t) => dist.tier_bytes[*t] += bytes,
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_optim::AdamConfig;
+    use mlp_storage::MemBackend;
+    use mlp_tensor::F16;
+
+    fn tiers(n: usize) -> Vec<SharedTier> {
+        (0..n)
+            .map(|i| {
+                SharedTier::new(
+                    Arc::new(MemBackend::new(format!("mem{i}"))) as Arc<dyn Backend>,
+                    (n - i) as f64, // descending weights, e.g. 2:1
+                )
+            })
+            .collect()
+    }
+
+    fn init_states(subgroups: usize, len: usize) -> Vec<SubgroupState> {
+        (0..subgroups)
+            .map(|s| SubgroupState::new((0..len).map(|i| ((s * len + i) as f32).sin()).collect()))
+            .collect()
+    }
+
+    fn grads_for(subgroups: usize, len: usize, seed: f32) -> Vec<Vec<u16>> {
+        (0..subgroups)
+            .map(|s| {
+                (0..len)
+                    .map(|i| {
+                        F16::from_f32(((s * len + i) as f32 * 0.01 + seed).cos() * 0.1).to_bits()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Reference: plain in-memory mixed-precision Adam over the same
+    /// subgroups.
+    fn reference_update(states: &mut [SubgroupState], adam: &AdamConfig, grads: &[Vec<u16>]) {
+        for (st, g) in states.iter_mut().zip(grads) {
+            st.apply_update_fp16(adam, g, 1.0);
+        }
+    }
+
+    #[test]
+    fn offloaded_training_matches_in_memory_reference() {
+        let adam = AdamConfig::default();
+        let mut reference = init_states(6, 40);
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(5),
+            adam,
+            &tiers(2),
+            0,
+            init_states(6, 40),
+        )
+        .unwrap();
+
+        for it in 0..4 {
+            let grads = grads_for(6, 40, it as f32);
+            reference_update(&mut reference, &adam, &grads);
+            engine.accumulate_gradients(&grads);
+            engine.update().unwrap();
+        }
+
+        let got = engine.master_params().unwrap();
+        for (idx, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(g, &r.params, "subgroup {idx} diverged");
+        }
+    }
+
+    #[test]
+    fn order_and_caching_do_not_change_results() {
+        let adam = AdamConfig::default();
+        let mut results = Vec::new();
+        for (order, frames) in [
+            (crate::policy::ordering::OrderPolicy::Ascending, 3),
+            (crate::policy::ordering::OrderPolicy::Alternating, 3),
+            (crate::policy::ordering::OrderPolicy::Alternating, 6),
+            (crate::policy::ordering::OrderPolicy::Descending, 10),
+        ] {
+            let mut cfg = EngineConfig::mlp_offload().with_host_frames(frames);
+            cfg.order = order;
+            let mut engine =
+                MlpFuncEngine::new(cfg, adam, &tiers(2), 0, init_states(5, 32)).unwrap();
+            for it in 0..3 {
+                engine.accumulate_gradients(&grads_for(5, 32, it as f32));
+                engine.update().unwrap();
+            }
+            results.push(engine.master_params().unwrap());
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "subgroup order/caching changed the math");
+        }
+    }
+
+    #[test]
+    fn tier_split_does_not_change_results() {
+        let adam = AdamConfig::default();
+        let mut results = Vec::new();
+        for n_tiers in [1usize, 2, 3] {
+            let mut engine = MlpFuncEngine::new(
+                EngineConfig::mlp_offload(),
+                adam,
+                &tiers(n_tiers),
+                0,
+                init_states(7, 16),
+            )
+            .unwrap();
+            for it in 0..2 {
+                engine.accumulate_gradients(&grads_for(7, 16, it as f32));
+                engine.update().unwrap();
+            }
+            results.push(engine.master_params().unwrap());
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn cache_hits_appear_from_second_iteration() {
+        let adam = AdamConfig::default();
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(3 + 2),
+            adam,
+            &tiers(1),
+            0,
+            init_states(6, 8),
+        )
+        .unwrap();
+        engine.accumulate_gradients(&grads_for(6, 8, 0.0));
+        let o0 = engine.update().unwrap();
+        assert_eq!(o0.cache_hits, 0);
+        engine.accumulate_gradients(&grads_for(6, 8, 1.0));
+        let o1 = engine.update().unwrap();
+        assert_eq!(o1.cache_hits, 2, "retained tail reused after order flip");
+        assert_eq!(o1.fetches, 4);
+    }
+
+    #[test]
+    fn gradient_accumulation_sums_micro_steps() {
+        let adam = AdamConfig::default();
+        // Two micro-steps of g vs one micro-step of 2g must agree (values
+        // chosen exactly representable in FP16).
+        let g1: Vec<Vec<u16>> = vec![vec![F16::from_f32(0.25).to_bits(); 8]];
+        let g2: Vec<Vec<u16>> = vec![vec![F16::from_f32(0.5).to_bits(); 8]];
+
+        let mut a = MlpFuncEngine::new(
+            EngineConfig::mlp_offload(),
+            adam,
+            &tiers(1),
+            0,
+            init_states(1, 8),
+        )
+        .unwrap();
+        a.accumulate_gradients(&g1);
+        a.accumulate_gradients(&g1);
+        a.update().unwrap();
+
+        let mut b = MlpFuncEngine::new(
+            EngineConfig::mlp_offload(),
+            adam,
+            &tiers(1),
+            0,
+            init_states(1, 8),
+        )
+        .unwrap();
+        b.accumulate_gradients(&g2);
+        b.update().unwrap();
+
+        assert_eq!(a.master_params().unwrap(), b.master_params().unwrap());
+    }
+
+    #[test]
+    fn inv_loss_scale_is_applied() {
+        let adam = AdamConfig::default();
+        let g_scaled: Vec<Vec<u16>> = vec![vec![F16::from_f32(1.0).to_bits(); 4]];
+        let g_plain: Vec<Vec<u16>> = vec![vec![F16::from_f32(0.5).to_bits(); 4]];
+
+        let mut a = MlpFuncEngine::new(
+            EngineConfig::mlp_offload(),
+            adam,
+            &tiers(1),
+            0,
+            init_states(1, 4),
+        )
+        .unwrap();
+        a.set_inv_loss_scale(0.5);
+        a.accumulate_gradients(&g_scaled);
+        a.update().unwrap();
+
+        let mut b = MlpFuncEngine::new(
+            EngineConfig::mlp_offload(),
+            adam,
+            &tiers(1),
+            0,
+            init_states(1, 4),
+        )
+        .unwrap();
+        b.accumulate_gradients(&g_plain);
+        b.update().unwrap();
+
+        assert_eq!(a.master_params().unwrap(), b.master_params().unwrap());
+    }
+
+    #[test]
+    fn distribution_reflects_retention() {
+        let adam = AdamConfig::default();
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(7),
+            adam,
+            &tiers(2),
+            0,
+            init_states(10, 4),
+        )
+        .unwrap();
+        assert_eq!(engine.tier_distribution().host_bytes, 0);
+        engine.accumulate_gradients(&grads_for(10, 4, 0.0));
+        engine.update().unwrap();
+        let dist = engine.tier_distribution();
+        assert_eq!(dist.host_bytes, 4 * 4 * 12, "4 retained × 4 params × 12 B");
+        assert!((dist.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

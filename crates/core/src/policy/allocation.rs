@@ -1,0 +1,262 @@
+//! Subgroup-to-tier allocation: the §3.3 performance model.
+//!
+//! Equation 1: tier `i` with bandwidth `B_i` receives
+//! `T_i = ⌈M·B_i / ΣB⌉` of the `M` subgroups, adjusted so `ΣT_i = M` —
+//! parallel fetches and flushes across tiers then finish at roughly the
+//! same time, so no single path straggles.
+//!
+//! Bandwidths start from microbenchmarks and are re-estimated from the
+//! observed per-subgroup transfer rates after every iteration, adapting to
+//! external load shifts on shared tiers (e.g. a busy PFS).
+
+/// Splits `m` subgroups across tiers proportionally to `bandwidths`
+/// (Eq. 1, largest-remainder rounding so the counts sum to exactly `m`).
+///
+/// # Panics
+///
+/// Panics if `bandwidths` is empty or contains a non-positive value.
+pub fn allocate_counts(m: usize, bandwidths: &[f64]) -> Vec<usize> {
+    assert!(!bandwidths.is_empty(), "need at least one tier");
+    assert!(
+        bandwidths.iter().all(|&b| b > 0.0 && b.is_finite()),
+        "bandwidths must be positive"
+    );
+    let total: f64 = bandwidths.iter().sum();
+    let exact: Vec<f64> = bandwidths.iter().map(|b| m as f64 * b / total).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Hand remaining subgroups to the largest fractional remainders
+    // (ties broken toward lower tier index for determinism).
+    let mut order: Vec<usize> = (0..bandwidths.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut i = 0;
+    while assigned < m {
+        counts[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Assigns each of `m` subgroups a tier index, interleaving tiers so
+/// consecutive subgroups use different I/O paths where possible (enabling
+/// the parallel multi-path fetches of Fig. 6). The per-tier totals equal
+/// [`allocate_counts`].
+pub fn assign_subgroups(m: usize, bandwidths: &[f64]) -> Vec<usize> {
+    let targets = allocate_counts(m, bandwidths);
+    let mut placed = vec![0usize; targets.len()];
+    let mut out = Vec::with_capacity(m);
+    for _ in 0..m {
+        // Weighted round-robin: pick the tier that has consumed the
+        // smallest fraction of its target so far (ties → lower index).
+        let tier = (0..targets.len())
+            .filter(|&t| placed[t] < targets[t])
+            .min_by(|&a, &b| {
+                let fa = placed[a] as f64 / targets[a] as f64;
+                let fb = placed[b] as f64 / targets[b] as f64;
+                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+            })
+            .expect("targets sum to m");
+        placed[tier] += 1;
+        out.push(tier);
+    }
+    out
+}
+
+/// Adaptive per-tier bandwidth estimation (§3.3): blends the initial
+/// microbenchmark value with the observed per-iteration transfer rates
+/// using an exponential moving average.
+#[derive(Clone, Debug)]
+pub struct BandwidthEstimator {
+    current: Vec<f64>,
+    pending_bytes: Vec<f64>,
+    pending_secs: Vec<f64>,
+    alpha: f64,
+}
+
+impl BandwidthEstimator {
+    /// Starts from microbenchmark bandwidths; `alpha` is the EMA weight of
+    /// new observations (the paper adjusts after each iteration; 0.5 reacts
+    /// within a couple of iterations without oscillating).
+    pub fn new(initial: Vec<f64>, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha in [0, 1]");
+        assert!(
+            initial.iter().all(|&b| b > 0.0 && b.is_finite()),
+            "initial bandwidths must be positive"
+        );
+        let n = initial.len();
+        BandwidthEstimator {
+            current: initial,
+            pending_bytes: vec![0.0; n],
+            pending_secs: vec![0.0; n],
+            alpha,
+        }
+    }
+
+    /// Number of tiers tracked.
+    pub fn num_tiers(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Records one observed transfer (fetch or flush) against `tier`.
+    pub fn record(&mut self, tier: usize, bytes: u64, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        self.pending_bytes[tier] += bytes as f64;
+        self.pending_secs[tier] += secs;
+    }
+
+    /// Folds the iteration's observations into the estimates (call once
+    /// per iteration).
+    pub fn end_iteration(&mut self) {
+        for t in 0..self.current.len() {
+            if self.pending_secs[t] > 0.0 {
+                let observed = self.pending_bytes[t] / self.pending_secs[t];
+                self.current[t] = (1.0 - self.alpha) * self.current[t] + self.alpha * observed;
+            }
+            self.pending_bytes[t] = 0.0;
+            self.pending_secs[t] = 0.0;
+        }
+    }
+
+    /// Current per-tier bandwidth estimates.
+    pub fn estimates(&self) -> &[f64] {
+        &self.current
+    }
+}
+
+/// Parses a ratio string like `"2:1"` into relative weights, the
+/// user-facing subgroup-distribution override of §3.5 ("a 2:1 split
+/// between /local/ and /remote/").
+pub fn parse_ratio(s: &str) -> Result<Vec<f64>, String> {
+    let parts: Result<Vec<f64>, _> = s.split(':').map(|p| p.trim().parse::<f64>()).collect();
+    match parts {
+        Ok(v) if !v.is_empty() && v.iter().all(|&x| x > 0.0) => Ok(v),
+        Ok(_) => Err(format!("ratio {s:?} must have positive components")),
+        Err(e) => Err(format!("bad ratio {s:?}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn testbed1_split_is_two_to_one() {
+        // NVMe 5.3, PFS 3.6 (min of r/w): 100 subgroups → ~60:40... the
+        // paper reports a 2:1 *configured* split; Eq. 1 with raw min
+        // bandwidths gives 60/40. With the write-bandwidth-dominant view
+        // (5.3 vs 3.6) the fraction on NVMe is ~60%; with the paper's
+        // configured 2:1 weights it is ~67%.
+        let counts = allocate_counts(99, &[2.0, 1.0]);
+        assert_eq!(counts, vec![66, 33]);
+        let counts = allocate_counts(100, &[5.3, 3.6]);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert!((58..=62).contains(&counts[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn single_tier_takes_everything() {
+        assert_eq!(allocate_counts(7, &[4.2]), vec![7]);
+    }
+
+    #[test]
+    fn zero_subgroups_allocates_zero() {
+        assert_eq!(allocate_counts(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn assignment_matches_counts_and_interleaves() {
+        let bw = [2.0, 1.0];
+        let assign = assign_subgroups(9, &bw);
+        let counts = allocate_counts(9, &bw);
+        for (t, &count) in counts.iter().enumerate() {
+            assert_eq!(assign.iter().filter(|&&x| x == t).count(), count);
+        }
+        // 2:1 interleave: no run of tier 0 longer than 2 (no starving path).
+        let mut run = 0;
+        for &t in &assign {
+            if t == 0 {
+                run += 1;
+                assert!(run <= 2, "tier 0 run too long in {assign:?}");
+            } else {
+                run = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_tracks_observed_drop() {
+        let mut est = BandwidthEstimator::new(vec![5.3e9, 3.6e9], 0.5);
+        // PFS under external load delivers only 1.8 GB/s this iteration.
+        est.record(1, 18_000_000_000, 10.0);
+        est.end_iteration();
+        assert_eq!(est.estimates()[0], 5.3e9, "no observation → unchanged");
+        let pfs = est.estimates()[1];
+        assert!((2.6e9..2.8e9).contains(&pfs), "EMA midpoint, got {pfs}");
+    }
+
+    #[test]
+    fn estimator_reallocation_shifts_subgroups() {
+        let mut est = BandwidthEstimator::new(vec![5.0e9, 5.0e9], 1.0);
+        let before = allocate_counts(100, est.estimates());
+        assert_eq!(before, vec![50, 50]);
+        est.record(1, 10_000_000_000, 10.0); // tier 1 down to 1 GB/s
+        est.end_iteration();
+        let after = allocate_counts(100, est.estimates());
+        assert!(after[0] > 80, "fast tier absorbs load: {after:?}");
+    }
+
+    #[test]
+    fn ratio_parsing() {
+        assert_eq!(parse_ratio("2:1").unwrap(), vec![2.0, 1.0]);
+        assert_eq!(parse_ratio("1:1:1").unwrap(), vec![1.0, 1.0, 1.0]);
+        assert!(parse_ratio("a:b").is_err());
+        assert!(parse_ratio("0:1").is_err());
+        assert!(parse_ratio("").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn counts_always_sum_to_m(
+            m in 0usize..500,
+            bw in proptest::collection::vec(0.1f64..100.0, 1..6),
+        ) {
+            let counts = allocate_counts(m, &bw);
+            prop_assert_eq!(counts.iter().sum::<usize>(), m);
+        }
+
+        #[test]
+        fn counts_are_proportional_within_one(
+            m in 1usize..500,
+            bw in proptest::collection::vec(0.1f64..100.0, 1..6),
+        ) {
+            let counts = allocate_counts(m, &bw);
+            let total: f64 = bw.iter().sum();
+            for (c, b) in counts.iter().zip(&bw) {
+                let exact = m as f64 * b / total;
+                prop_assert!((*c as f64 - exact).abs() <= 1.0 + 1e-9,
+                    "count {c} vs exact {exact}");
+            }
+        }
+
+        #[test]
+        fn assignment_is_a_permutation_of_counts(
+            m in 0usize..300,
+            bw in proptest::collection::vec(0.1f64..100.0, 1..5),
+        ) {
+            let assign = assign_subgroups(m, &bw);
+            let counts = allocate_counts(m, &bw);
+            prop_assert_eq!(assign.len(), m);
+            for (t, &c) in counts.iter().enumerate() {
+                prop_assert_eq!(assign.iter().filter(|&&x| x == t).count(), c);
+            }
+        }
+    }
+}

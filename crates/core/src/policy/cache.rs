@@ -1,0 +1,84 @@
+//! Host-cache frame planning.
+//!
+//! The host memory left after the runtime's reservations holds a fixed
+//! number of subgroup *frames*. A minimum of [`MIN_PIPELINE_FRAMES`] keeps
+//! the fetch → update → flush pipeline flowing (§4.1: "the previous
+//! subgroup being lazily flushed, the current being updated, and the next
+//! being prefetched"); everything above that can retain subgroups across
+//! iterations for the cache-friendly reordering win.
+
+/// Pipeline minimum: one flushing + one updating + one prefetching frame.
+pub const MIN_PIPELINE_FRAMES: usize = 3;
+
+/// How a worker's host frames are split between the pipeline working set
+/// and the cross-iteration cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FramePlan {
+    /// Total frames available to this worker.
+    pub total_frames: usize,
+    /// Frames reserved for in-flight pipeline stages.
+    pub pipeline_frames: usize,
+    /// Frames retaining subgroups across iterations.
+    pub retain_frames: usize,
+}
+
+impl FramePlan {
+    /// Plans `total_frames` (clamped up to the pipeline minimum) with
+    /// `pipeline_depth` working frames. With caching disabled pass
+    /// `retain = false` to devote everything to the pipeline.
+    pub fn new(total_frames: usize, pipeline_depth: usize, retain: bool) -> Self {
+        let pipeline_frames = pipeline_depth.max(MIN_PIPELINE_FRAMES);
+        let total_frames = total_frames.max(pipeline_frames);
+        let retain_frames = if retain {
+            total_frames - pipeline_frames
+        } else {
+            0
+        };
+        FramePlan {
+            total_frames,
+            pipeline_frames,
+            retain_frames,
+        }
+    }
+
+    /// Which positions of an `m`-subgroup processing order are retained in
+    /// host memory at iteration end: the final `retain_frames` positions
+    /// (the tail, which the alternating order visits first next time).
+    pub fn retained_positions(&self, m: usize) -> std::ops::Range<usize> {
+        let keep = self.retain_frames.min(m);
+        (m - keep)..m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_three_frames_enforced() {
+        let plan = FramePlan::new(0, 0, true);
+        assert_eq!(plan.pipeline_frames, 3);
+        assert_eq!(plan.total_frames, 3);
+        assert_eq!(plan.retain_frames, 0);
+    }
+
+    #[test]
+    fn surplus_frames_become_cache() {
+        let plan = FramePlan::new(10, 3, true);
+        assert_eq!(plan.retain_frames, 7);
+        assert_eq!(plan.retained_positions(100), 93..100);
+    }
+
+    #[test]
+    fn retain_disabled_gives_zero_cache() {
+        let plan = FramePlan::new(10, 3, false);
+        assert_eq!(plan.retain_frames, 0);
+        assert!(plan.retained_positions(100).is_empty());
+    }
+
+    #[test]
+    fn small_shards_retain_at_most_everything() {
+        let plan = FramePlan::new(50, 3, true);
+        assert_eq!(plan.retained_positions(5), 0..5);
+    }
+}

@@ -1,0 +1,9 @@
+//! Pure decision logic shared by the simulated and functional engines:
+//! where each subgroup lives ([`allocation`]), in what order subgroups are
+//! updated ([`ordering`]), and which stay cached in host memory
+//! ([`cache`]). Keeping these pure makes the contribution directly
+//! property-testable, independent of any execution substrate.
+
+pub mod allocation;
+pub mod cache;
+pub mod ordering;

@@ -1,0 +1,7 @@
+//! The virtual-time offloading engine used for performance reproduction.
+
+pub mod engine;
+pub mod env;
+
+pub use engine::SimWorker;
+pub use env::{NodeSimEnv, NodeSpec};

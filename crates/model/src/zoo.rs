@@ -1,0 +1,137 @@
+//! The paper's model zoo (Table 2), plus the 20B model used by the §3.1
+//! motivation experiments.
+//!
+//! | Model | N_L | D_H   | AH  |
+//! |-------|-----|-------|-----|
+//! | 40B   | 128 | 5120  | 40  |
+//! | 52B   | 64  | 8192  | 64  |
+//! | 70B   | 80  | 8192  | 64  |
+//! | 100B  | 124 | 8192  | 64  |
+//! | 120B  | 96  | 10240 | 80  |
+//! | 130B  | 70  | 12288 | 96  |
+//! | 280B  | 72  | 16384 | 128 |
+
+use crate::config::ModelConfig;
+
+/// The 20B model of §3.1 (small enough for its optimizer state to fit in
+/// 512 GB of host memory; used as the no-disk baseline).
+pub fn model_20b() -> ModelConfig {
+    ModelConfig::new("20B", 44, 6144, 48)
+}
+
+/// Table 2: 40B.
+pub fn model_40b() -> ModelConfig {
+    ModelConfig::new("40B", 128, 5120, 40)
+}
+
+/// Table 2: 52B (Tele-FLM).
+pub fn model_52b() -> ModelConfig {
+    ModelConfig::new("52B", 64, 8192, 64)
+}
+
+/// Table 2: 70B (LLaMA-2-70B dimensions).
+pub fn model_70b() -> ModelConfig {
+    ModelConfig::new("70B", 80, 8192, 64)
+}
+
+/// Table 2: 100B.
+pub fn model_100b() -> ModelConfig {
+    ModelConfig::new("100B", 124, 8192, 64)
+}
+
+/// Table 2: 120B (Galactica dimensions).
+pub fn model_120b() -> ModelConfig {
+    ModelConfig::new("120B", 96, 10240, 80)
+}
+
+/// Table 2: 130B (GLM-130B dimensions).
+pub fn model_130b() -> ModelConfig {
+    ModelConfig::new("130B", 70, 12288, 96)
+}
+
+/// Table 2: 280B (Gopher dimensions).
+pub fn model_280b() -> ModelConfig {
+    ModelConfig::new("280B", 72, 16384, 128)
+}
+
+/// All Table 2 models in ascending size order.
+pub fn table2() -> Vec<ModelConfig> {
+    vec![
+        model_40b(),
+        model_52b(),
+        model_70b(),
+        model_100b(),
+        model_120b(),
+        model_130b(),
+        model_280b(),
+    ]
+}
+
+/// The single-node scaling set used by Figures 7–10 (40B–120B on Testbed-1).
+pub fn single_node_set() -> Vec<ModelConfig> {
+    vec![
+        model_40b(),
+        model_52b(),
+        model_70b(),
+        model_100b(),
+        model_120b(),
+    ]
+}
+
+/// Looks a model up by display name (e.g. `"70B"`).
+pub fn by_name(name: &str) -> Option<ModelConfig> {
+    std::iter::once(model_20b())
+        .chain(table2())
+        .find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_matches_table2_dimensions() {
+        let m = model_280b();
+        assert_eq!(
+            (m.num_layers, m.hidden_dim, m.attention_heads),
+            (72, 16384, 128)
+        );
+        let m = model_130b();
+        assert_eq!(
+            (m.num_layers, m.hidden_dim, m.attention_heads),
+            (70, 12288, 96)
+        );
+    }
+
+    #[test]
+    fn nominal_sizes_are_close_to_computed() {
+        // Dense 12·L·D² math reproduces the nominal labels within 20%
+        // (the labels come from heterogeneous published models with
+        //  slightly different FFN/vocab choices).
+        for m in std::iter::once(model_20b()).chain(table2()) {
+            let nominal: f64 = m.name.trim_end_matches('B').parse().unwrap();
+            let actual = m.param_count() as f64 / 1e9;
+            let err = (actual - nominal).abs() / nominal;
+            assert!(
+                err < 0.20,
+                "{}: computed {actual:.1}B vs nominal {nominal}B",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_is_sorted_by_size() {
+        let sizes: Vec<u64> = table2().iter().map(|m| m.param_count()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("70B").unwrap().hidden_dim, 8192);
+        assert_eq!(by_name("20B").unwrap().num_layers, 44);
+        assert!(by_name("7B").is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! One subgroup's FP32 master state: the payload that moves between the
+//! host and the storage tiers.
+//!
+//! Serialized layout (little endian), matching the paper's subgroup
+//! composition "FP32 parameters, momentum, variance" (§3.4):
+//!
+//! ```text
+//! [ params: n×f32 | momentum: n×f32 | variance: n×f32 ]
+//! ```
+//!
+//! Gradients are *not* part of the serialized state — the baseline engine
+//! additionally moves FP32 gradients through storage, the MLP-Offload
+//! engine deliberately does not (delayed in-place conversion, §3.2).
+
+use mlp_tensor::convert;
+use mlp_tensor::HostBuffer;
+
+use crate::adam::{adam_step_par, AdamConfig};
+use crate::optimizer::OptimizerConfig;
+
+/// FP32 master state of one subgroup.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubgroupState {
+    /// Master parameters.
+    pub params: Vec<f32>,
+    /// Adam first moment.
+    pub momentum: Vec<f32>,
+    /// Adam second moment.
+    pub variance: Vec<f32>,
+    /// Completed optimizer steps (1-based at the next update).
+    pub step: u64,
+}
+
+impl SubgroupState {
+    /// Fresh state with the given initial master parameters and zeroed
+    /// moments.
+    pub fn new(params: Vec<f32>) -> Self {
+        let n = params.len();
+        SubgroupState {
+            params,
+            momentum: vec![0.0; n],
+            variance: vec![0.0; n],
+            step: 0,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the subgroup is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.params.len() * 12
+    }
+
+    /// Applies one Adam step using FP32 gradients.
+    pub fn apply_update(&mut self, cfg: &AdamConfig, grads: &[f32]) {
+        self.step += 1;
+        adam_step_par(
+            cfg,
+            self.step,
+            &mut self.params,
+            &mut self.momentum,
+            &mut self.variance,
+            grads,
+        );
+    }
+
+    /// Applies one step of any [`OptimizerConfig`] using FP32 gradients
+    /// (the two state slots are reinterpreted per optimizer; see
+    /// [`crate::optimizer`]).
+    pub fn apply_update_opt(&mut self, opt: &OptimizerConfig, grads: &[f32]) {
+        self.step += 1;
+        opt.step_par(
+            self.step,
+            &mut self.params,
+            &mut self.momentum,
+            &mut self.variance,
+            grads,
+        );
+    }
+
+    /// [`SubgroupState::apply_update_opt`] from FP16 gradient bits with
+    /// on-the-fly upscaling (delayed conversion) and inverse loss scaling.
+    pub fn apply_update_fp16_opt(
+        &mut self,
+        opt: &OptimizerConfig,
+        grads_fp16: &[u16],
+        inv_scale: f32,
+    ) {
+        assert_eq!(
+            grads_fp16.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
+        let mut grads = vec![0.0f32; grads_fp16.len()];
+        // Fused upscale × inverse-loss-scale: one pass over the buffer.
+        convert::upscale_scaled_par(grads_fp16, &mut grads, inv_scale);
+        self.apply_update_opt(opt, &grads);
+    }
+
+    /// Applies one Adam step from FP16 gradient bits, upscaling on the fly
+    /// (the delayed-conversion path). `scale` divides the gradients first
+    /// (inverse loss scale).
+    pub fn apply_update_fp16(&mut self, cfg: &AdamConfig, grads_fp16: &[u16], inv_scale: f32) {
+        assert_eq!(
+            grads_fp16.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
+        let mut grads = vec![0.0f32; grads_fp16.len()];
+        convert::upscale_par(grads_fp16, &mut grads);
+        if inv_scale != 1.0 {
+            for g in &mut grads {
+                *g *= inv_scale;
+            }
+        }
+        self.apply_update(cfg, &grads);
+    }
+
+    /// Serializes into a [`HostBuffer`] (`params | momentum | variance`).
+    pub fn to_buffer(&self) -> HostBuffer {
+        let n = self.params.len();
+        let mut buf = HostBuffer::zeroed(n * 12);
+        buf.write_f32(0, &self.params);
+        buf.write_f32(n * 4, &self.momentum);
+        buf.write_f32(n * 8, &self.variance);
+        buf
+    }
+
+    /// Deserializes from bytes produced by [`SubgroupState::to_buffer`].
+    /// `step` is tracked host-side (it is rank-global), so the caller
+    /// supplies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of 12.
+    pub fn from_bytes(bytes: &[u8], step: u64) -> Self {
+        assert!(
+            bytes.len().is_multiple_of(12),
+            "state bytes must be a multiple of 12"
+        );
+        let n = bytes.len() / 12;
+        let buf = HostBuffer::from_bytes(bytes.to_vec());
+        SubgroupState {
+            params: buf.read_f32(0, n),
+            momentum: buf.read_f32(n * 4, n),
+            variance: buf.read_f32(n * 8, n),
+            step,
+        }
+    }
+
+    /// The FP16 working copy of the parameters (what is pushed back to the
+    /// GPU after an update).
+    pub fn fp16_params(&self) -> Vec<u16> {
+        let mut out = vec![0u16; self.params.len()];
+        convert::downscale_par(&self.params, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_tensor::F16;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buffer_round_trip_is_exact() {
+        let mut st = SubgroupState::new((0..100).map(|i| i as f32 * 0.13).collect());
+        st.momentum[3] = -7.5;
+        st.variance[99] = 42.0;
+        st.step = 11;
+        let buf = st.to_buffer();
+        assert_eq!(buf.len(), st.byte_len());
+        let back = SubgroupState::from_bytes(buf.as_bytes(), 11);
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn fp16_update_equals_fp32_update_on_representable_grads() {
+        let cfg = AdamConfig::default();
+        let grads_f32: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.25).collect();
+        let grads_f16: Vec<u16> = grads_f32
+            .iter()
+            .map(|&g| F16::from_f32(g).to_bits())
+            .collect();
+
+        let mut a = SubgroupState::new(vec![1.0; 64]);
+        let mut b = a.clone();
+        a.apply_update(&cfg, &grads_f32);
+        b.apply_update_fp16(&cfg, &grads_f16, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inv_scale_divides_gradients() {
+        let cfg = AdamConfig::default();
+        let mut a = SubgroupState::new(vec![1.0; 8]);
+        let mut b = a.clone();
+        let g = [2.0f32; 8];
+        let g16: Vec<u16> = g
+            .iter()
+            .map(|&x| F16::from_f32(x * 4.0).to_bits())
+            .collect();
+        a.apply_update(&cfg, &g);
+        b.apply_update_fp16(&cfg, &g16, 0.25);
+        assert_eq!(a.params, b.params);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let cfg = AdamConfig::default();
+        let mut st = SubgroupState::new(vec![0.0; 4]);
+        st.apply_update(&cfg, &[0.1; 4]);
+        st.apply_update(&cfg, &[0.1; 4]);
+        assert_eq!(st.step, 2);
+    }
+
+    #[test]
+    fn fp16_params_round_half_precision() {
+        let st = SubgroupState::new(vec![1.0, 0.5, 65504.0, 1e-9]);
+        let h = st.fp16_params();
+        assert_eq!(F16::from_bits(h[0]).to_f32(), 1.0);
+        assert_eq!(F16::from_bits(h[1]).to_f32(), 0.5);
+        assert_eq!(F16::from_bits(h[2]).to_f32(), 65504.0);
+        assert_eq!(F16::from_bits(h[3]).to_f32(), 0.0); // underflow
+    }
+
+    proptest! {
+        #[test]
+        fn serialization_round_trip(
+            params in proptest::collection::vec(-1e3f32..1e3, 1..128),
+            step in 0u64..1000,
+        ) {
+            let n = params.len();
+            let mut st = SubgroupState::new(params);
+            st.momentum = (0..n).map(|i| i as f32 * 0.01).collect();
+            st.variance = (0..n).map(|i| i as f32 * 0.02).collect();
+            st.step = step;
+            let back = SubgroupState::from_bytes(st.to_buffer().as_bytes(), step);
+            prop_assert_eq!(back, st);
+        }
+    }
+}

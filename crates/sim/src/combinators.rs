@@ -1,0 +1,164 @@
+//! Future combinators for simulated tasks: racing and timeouts.
+//!
+//! The executor re-polls a task whenever *any* condition it registered
+//! fires, so racing two futures needs no waker plumbing: poll both, first
+//! `Ready` wins, the loser is dropped (every primitive in this crate is
+//! cancel-safe).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::executor::Sim;
+use crate::time::SimTime;
+
+/// Result of [`race`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished first (ties go to the first).
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Future returned by [`race`].
+pub struct Race<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Races two futures; resolves with the first to complete (the other is
+/// dropped, releasing any queue positions or permits it held). Futures
+/// must be `Unpin` — wrap `async` blocks in `Box::pin`.
+pub fn race<A, B>(a: A, b: B) -> Race<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    Race { a, b }
+}
+
+impl<A, B> Future for Race<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = Pin::new(&mut self.a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut self.b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs `fut` with a virtual-time deadline: `Some(output)` if it finishes
+/// within `dur` nanoseconds, `None` if the timer fires first (the future
+/// is dropped/cancelled).
+pub async fn timeout_ns<F>(sim: &Sim, dur: SimTime, fut: F) -> Option<F::Output>
+where
+    F: Future + Unpin,
+{
+    match race(fut, sim.sleep_ns(dur)).await {
+        Either::Left(v) => Some(v),
+        Either::Right(()) => None,
+    }
+}
+
+/// [`timeout_ns`] with the deadline in seconds.
+pub async fn timeout<F>(sim: &Sim, secs: f64, fut: F) -> Option<F::Output>
+where
+    F: Future + Unpin,
+{
+    timeout_ns(sim, crate::time::secs(secs), fut).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BwLink;
+    use crate::sync::SimMutex;
+    use crate::time::secs;
+
+    #[test]
+    fn race_picks_the_earlier_future() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let fast = s.sleep(1.0);
+            let slow = s.sleep(5.0);
+            let r = race(
+                Box::pin(async move {
+                    fast.await;
+                    "fast"
+                }),
+                Box::pin(async move {
+                    slow.await;
+                    "slow"
+                }),
+            )
+            .await;
+            (r, s.now())
+        });
+        assert_eq!(out.0, Either::Left("fast"));
+        // The loser was dropped: time stops at the winner.
+        assert_eq!(out.1, secs(1.0));
+    }
+
+    #[test]
+    fn timeout_returns_none_when_deadline_hits() {
+        let sim = Sim::new();
+        let link = BwLink::new(&sim, "slow", 10.0);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            // 1000 bytes at 10 B/s = 100 s ≫ the 2 s deadline.
+            let r = timeout(&s.clone(), 2.0, Box::pin(link.transfer(1000))).await;
+            (r.is_none(), s.now(), link.active_flows())
+        });
+        assert!(out.0, "must time out");
+        assert_eq!(out.1, secs(2.0));
+        // The abandoned transfer was cancelled, not leaked.
+        assert_eq!(out.2, 0);
+    }
+
+    #[test]
+    fn timeout_returns_some_when_work_finishes() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let d = s.sleep(0.5);
+            timeout(&s.clone(), 2.0, d).await
+        });
+        assert_eq!(out, Some(()));
+        assert_eq!(sim.now(), secs(0.5));
+    }
+
+    #[test]
+    fn cancelled_lock_waiter_leaves_the_queue() {
+        let sim = Sim::new();
+        let m = SimMutex::new(&sim);
+        let m2 = m.clone();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let g = m2.try_lock().unwrap();
+            // A waiter that gives up after 1 s.
+            let waited = timeout(&s.clone(), 1.0, m2.lock()).await;
+            assert!(waited.is_none());
+            assert_eq!(m2.waiters(), 0, "cancelled waiter must dequeue");
+            drop(g);
+            let _g2 = m2.lock().await; // still acquirable
+        });
+    }
+
+    #[test]
+    fn simultaneous_completion_prefers_left() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move { race(s.sleep(1.0), s.sleep(1.0)).await });
+        assert_eq!(out, Either::Left(()));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation (DES) kernel with an async/await
+//! process model.
+//!
+//! The offloading engines in this workspace are written as ordinary `async`
+//! code (`tier.read(sub).await`, `lock.lock().await`, ...). In *simulated
+//! mode* those futures run on the single-threaded executor provided here: a
+//! virtual clock advances instantly between events, so an iteration that
+//! takes minutes of "paper time" simulates in microseconds, and every run is
+//! bit-for-bit deterministic.
+//!
+//! The kernel provides:
+//!
+//! * [`Sim`] — the executor handle: [`Sim::spawn`], [`Sim::run`],
+//!   [`Sim::block_on`], and the virtual clock ([`Sim::now`]).
+//! * [`Delay`] (via [`Sim::sleep`] / [`Sim::sleep_ns`]) — virtual-time timers.
+//! * [`sync::SimMutex`], [`sync::Semaphore`], [`sync::Notify`] — FIFO
+//!   cooperative synchronization primitives used for tier-exclusive locks and
+//!   bounded host-buffer slots.
+//! * [`channel`] — unbounded FIFO channels between simulated processes.
+//! * [`bandwidth::BwLink`] — a processor-sharing ("fluid flow") bandwidth
+//!   resource modelling a storage channel or interconnect: aggregate
+//!   throughput is conserved while per-flow latency grows with concurrency,
+//!   optionally degraded by a contention-efficiency curve.
+//!
+//! # Example
+//!
+//! ```
+//! use mlp_sim::{Sim, time::secs};
+//!
+//! let sim = Sim::new();
+//! let handle = sim.spawn({
+//!     let sim = sim.clone();
+//!     async move {
+//!         sim.sleep_ns(secs(1.5)).await;
+//!         sim.now()
+//!     }
+//! });
+//! let end = sim.block_on(handle);
+//! assert_eq!(end, secs(1.5));
+//! ```
+
+pub mod bandwidth;
+pub mod channel;
+pub mod combinators;
+mod delay;
+mod executor;
+pub mod sync;
+pub mod time;
+pub mod trace;
+
+pub use combinators::{race, timeout, Either};
+pub use delay::Delay;
+pub use executor::{JoinHandle, Sim, TaskId};
+pub use time::SimTime;

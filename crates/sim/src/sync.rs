@@ -1,0 +1,939 @@
+//! Cooperative synchronization primitives for simulated processes.
+//!
+//! All primitives are strictly FIFO, which keeps simulations deterministic
+//! and models the fairness of the queue-based locking the paper's engine
+//! uses (process-exclusive, multi-thread-shared access to a storage tier,
+//! §3.5).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::executor::{Sim, TaskId};
+
+// ---------------------------------------------------------------------------
+// SimMutex
+// ---------------------------------------------------------------------------
+
+struct MutexState {
+    locked: bool,
+    /// FIFO queue of waiting (ticket, task).
+    queue: VecDeque<(u64, TaskId)>,
+    /// Ticket that currently owns a pending lock handoff.
+    handoff: Option<u64>,
+    next_ticket: u64,
+}
+
+/// An asynchronous, FIFO-fair mutual-exclusion lock.
+///
+/// Used to model *tier-exclusive concurrency control*: only one worker
+/// process on a node may access a given storage tier at a time (§3.2).
+pub struct SimMutex {
+    sim: Sim,
+    state: Rc<RefCell<MutexState>>,
+}
+
+impl SimMutex {
+    /// Creates an unlocked mutex.
+    pub fn new(sim: &Sim) -> Self {
+        SimMutex {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(MutexState {
+                locked: false,
+                queue: VecDeque::new(),
+                handoff: None,
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Acquires the lock, waiting in FIFO order.
+    pub fn lock(&self) -> MutexLock {
+        MutexLock {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+            ticket: None,
+            acquired: false,
+        }
+    }
+
+    /// Attempts to acquire without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard> {
+        let mut s = self.state.borrow_mut();
+        if !s.locked && s.handoff.is_none() && s.queue.is_empty() {
+            s.locked = true;
+            drop(s);
+            Some(MutexGuard {
+                sim: self.sim.clone(),
+                state: Rc::clone(&self.state),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the lock is currently held (or mid-handoff).
+    pub fn is_locked(&self) -> bool {
+        let s = self.state.borrow();
+        s.locked || s.handoff.is_some()
+    }
+
+    /// Number of tasks queued behind the current holder.
+    pub fn waiters(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+}
+
+impl Clone for SimMutex {
+    fn clone(&self) -> Self {
+        SimMutex {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+fn mutex_release(sim: &Sim, state: &Rc<RefCell<MutexState>>) {
+    let mut s = state.borrow_mut();
+    if let Some((ticket, task)) = s.queue.pop_front() {
+        // Hand the lock to the next waiter: `locked` stays true so nobody
+        // can barge in between release and the waiter's next poll.
+        s.handoff = Some(ticket);
+        drop(s);
+        sim.wake(task);
+    } else {
+        s.locked = false;
+    }
+}
+
+/// Future returned by [`SimMutex::lock`].
+pub struct MutexLock {
+    sim: Sim,
+    state: Rc<RefCell<MutexState>>,
+    ticket: Option<u64>,
+    acquired: bool,
+}
+
+impl Future for MutexLock {
+    type Output = MutexGuard;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<MutexGuard> {
+        let this = &mut *self;
+        let mut s = this.state.borrow_mut();
+        match this.ticket {
+            None => {
+                if !s.locked && s.handoff.is_none() && s.queue.is_empty() {
+                    s.locked = true;
+                    drop(s);
+                    this.acquired = true;
+                    Poll::Ready(MutexGuard {
+                        sim: this.sim.clone(),
+                        state: Rc::clone(&this.state),
+                    })
+                } else {
+                    let ticket = s.next_ticket;
+                    s.next_ticket += 1;
+                    let task = this.sim.current_task();
+                    s.queue.push_back((ticket, task));
+                    this.ticket = Some(ticket);
+                    Poll::Pending
+                }
+            }
+            Some(ticket) => {
+                if s.handoff == Some(ticket) {
+                    s.handoff = None;
+                    drop(s);
+                    this.acquired = true;
+                    Poll::Ready(MutexGuard {
+                        sim: this.sim.clone(),
+                        state: Rc::clone(&this.state),
+                    })
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MutexLock {
+    fn drop(&mut self) {
+        if self.acquired {
+            return;
+        }
+        let Some(ticket) = self.ticket else { return };
+        let mut s = self.state.borrow_mut();
+        if s.handoff == Some(ticket) {
+            // We were granted the lock but dropped before observing it:
+            // behave as an immediate release.
+            s.handoff = None;
+            drop(s);
+            mutex_release(&self.sim, &self.state);
+        } else {
+            s.queue.retain(|&(t, _)| t != ticket);
+        }
+    }
+}
+
+/// RAII guard; releases the mutex (waking the next waiter) on drop.
+pub struct MutexGuard {
+    sim: Sim,
+    state: Rc<RefCell<MutexState>>,
+}
+
+impl Drop for MutexGuard {
+    fn drop(&mut self) {
+        mutex_release(&self.sim, &self.state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemState {
+    permits: usize,
+    queue: VecDeque<(u64, TaskId)>,
+    /// Tickets whose permit has been granted but not yet observed.
+    granted: Vec<u64>,
+    next_ticket: u64,
+}
+
+/// FIFO counting semaphore.
+///
+/// Models bounded resources such as the configurable number of pinned host
+/// buffer slots that cap how many subgroups may be in flight at once (the
+/// paper's "minimum of three subgroups": flush + update + prefetch, §4.1).
+pub struct Semaphore {
+    sim: Sim,
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initially available permits.
+    pub fn new(sim: &Sim, permits: usize) -> Self {
+        Semaphore {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                queue: VecDeque::new(),
+                granted: Vec::new(),
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Acquires one permit, waiting in FIFO order.
+    pub fn acquire(&self) -> SemAcquire {
+        SemAcquire {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+            ticket: None,
+            acquired: false,
+        }
+    }
+
+    /// Attempts to take a permit without waiting.
+    pub fn try_acquire(&self) -> Option<SemGuard> {
+        let mut s = self.state.borrow_mut();
+        if s.permits > 0 && s.queue.is_empty() {
+            s.permits -= 1;
+            drop(s);
+            Some(SemGuard {
+                sim: self.sim.clone(),
+                state: Rc::clone(&self.state),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+
+    /// Number of waiting acquirers.
+    pub fn waiters(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Adds permits (releases without a guard), waking waiters FIFO.
+    pub fn add_permits(&self, n: usize) {
+        for _ in 0..n {
+            sem_release(&self.sim, &self.state);
+        }
+    }
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+fn sem_release(sim: &Sim, state: &Rc<RefCell<SemState>>) {
+    let mut s = state.borrow_mut();
+    if let Some((ticket, task)) = s.queue.pop_front() {
+        s.granted.push(ticket);
+        drop(s);
+        sim.wake(task);
+    } else {
+        s.permits += 1;
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct SemAcquire {
+    sim: Sim,
+    state: Rc<RefCell<SemState>>,
+    ticket: Option<u64>,
+    acquired: bool,
+}
+
+impl Future for SemAcquire {
+    type Output = SemGuard;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<SemGuard> {
+        let this = &mut *self;
+        let mut s = this.state.borrow_mut();
+        match this.ticket {
+            None => {
+                if s.permits > 0 && s.queue.is_empty() {
+                    s.permits -= 1;
+                    drop(s);
+                    this.acquired = true;
+                    Poll::Ready(SemGuard {
+                        sim: this.sim.clone(),
+                        state: Rc::clone(&this.state),
+                    })
+                } else {
+                    let ticket = s.next_ticket;
+                    s.next_ticket += 1;
+                    let task = this.sim.current_task();
+                    s.queue.push_back((ticket, task));
+                    this.ticket = Some(ticket);
+                    Poll::Pending
+                }
+            }
+            Some(ticket) => {
+                if let Some(pos) = s.granted.iter().position(|&t| t == ticket) {
+                    s.granted.swap_remove(pos);
+                    drop(s);
+                    this.acquired = true;
+                    Poll::Ready(SemGuard {
+                        sim: this.sim.clone(),
+                        state: Rc::clone(&this.state),
+                    })
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SemAcquire {
+    fn drop(&mut self) {
+        if self.acquired {
+            return;
+        }
+        let Some(ticket) = self.ticket else { return };
+        let mut s = self.state.borrow_mut();
+        if let Some(pos) = s.granted.iter().position(|&t| t == ticket) {
+            // Granted but never observed: forward the permit.
+            s.granted.swap_remove(pos);
+            drop(s);
+            sem_release(&self.sim, &self.state);
+        } else {
+            s.queue.retain(|&(t, _)| t != ticket);
+        }
+    }
+}
+
+/// RAII permit; returns the permit (waking the next waiter) on drop.
+pub struct SemGuard {
+    sim: Sim,
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Drop for SemGuard {
+    fn drop(&mut self) {
+        sem_release(&self.sim, &self.state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Notify
+// ---------------------------------------------------------------------------
+
+struct NotifyState {
+    epoch: u64,
+    waiters: Vec<TaskId>,
+}
+
+/// Broadcast notification: every waiter registered before a
+/// [`Notify::notify_all`] call is woken by it.
+pub struct Notify {
+    sim: Sim,
+    state: Rc<RefCell<NotifyState>>,
+}
+
+impl Notify {
+    /// Creates a notifier.
+    pub fn new(sim: &Sim) -> Self {
+        Notify {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(NotifyState {
+                epoch: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Future that completes at the next `notify_all` after it is first
+    /// polled.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+            epoch: None,
+        }
+    }
+
+    /// Wakes all current waiters.
+    pub fn notify_all(&self) {
+        let waiters = {
+            let mut s = self.state.borrow_mut();
+            s.epoch += 1;
+            std::mem::take(&mut s.waiters)
+        };
+        for t in waiters {
+            self.sim.wake(t);
+        }
+    }
+}
+
+impl Clone for Notify {
+    fn clone(&self) -> Self {
+        Notify {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    sim: Sim,
+    state: Rc<RefCell<NotifyState>>,
+    epoch: Option<u64>,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut s = this.state.borrow_mut();
+        match this.epoch {
+            None => {
+                this.epoch = Some(s.epoch);
+                let task = this.sim.current_task();
+                s.waiters.push(task);
+                Poll::Pending
+            }
+            Some(e) => {
+                if s.epoch > e {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn mutex_grants_in_fifo_order() {
+        let sim = Sim::new();
+        let m = SimMutex::new(&sim);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let m = m.clone();
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                let _g = m.lock().await;
+                log.borrow_mut().push(i);
+                s.sleep(1.0).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+        assert_eq!(sim.now(), crate::time::secs(4.0));
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        let sim = Sim::new();
+        let m = SimMutex::new(&sim);
+        let active = Rc::new(RefCell::new((0usize, 0usize))); // (current, max)
+        for _ in 0..5 {
+            let m = m.clone();
+            let s = sim.clone();
+            let active = Rc::clone(&active);
+            sim.spawn(async move {
+                let _g = m.lock().await;
+                {
+                    let mut a = active.borrow_mut();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                s.sleep(0.5).await;
+                active.borrow_mut().0 -= 1;
+            });
+        }
+        sim.run();
+        assert_eq!(active.borrow().1, 1);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let sim = Sim::new();
+        let m = SimMutex::new(&sim);
+        let g = m.try_lock().unwrap();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn dropped_waiter_leaves_queue_consistent() {
+        let sim = Sim::new();
+        let m = SimMutex::new(&sim);
+        let m2 = m.clone();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let g = m2.try_lock().unwrap();
+            // Create a waiter, poll it once so it joins the queue, then drop
+            // it before it is ever granted (cancellation path).
+            {
+                let mut fut = std::pin::pin!(m2.lock());
+                std::future::poll_fn(|cx| {
+                    assert!(fut.as_mut().poll(cx).is_pending());
+                    std::task::Poll::Ready(())
+                })
+                .await;
+                assert_eq!(m2.waiters(), 1);
+            }
+            assert_eq!(m2.waiters(), 0);
+            drop(g);
+            // Lock must be acquirable again.
+            let _g2 = m2.lock().await;
+            let _ = s;
+        });
+    }
+
+    #[test]
+    fn semaphore_caps_concurrency() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(&sim, 3);
+        let active = Rc::new(RefCell::new((0usize, 0usize)));
+        for _ in 0..10 {
+            let sem = sem.clone();
+            let s = sim.clone();
+            let active = Rc::clone(&active);
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                {
+                    let mut a = active.borrow_mut();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                s.sleep(1.0).await;
+                active.borrow_mut().0 -= 1;
+            });
+        }
+        sim.run();
+        assert_eq!(active.borrow().1, 3);
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn semaphore_add_permits_wakes_waiters() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(&sim, 0);
+        let sem2 = sem.clone();
+        let h = sim.spawn(async move {
+            let _g = sem2.acquire().await;
+            true
+        });
+        sim.run();
+        assert!(!h.is_done());
+        sem.add_permits(1);
+        sim.run();
+        assert!(h.try_take().unwrap());
+    }
+
+    #[test]
+    fn notify_all_wakes_every_registered_waiter() {
+        let sim = Sim::new();
+        let n = Notify::new(&sim);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let n = n.clone();
+            handles.push(sim.spawn(async move {
+                n.notified().await;
+                7u8
+            }));
+        }
+        sim.run();
+        assert!(handles.iter().all(|h| !h.is_done()));
+        n.notify_all();
+        sim.run();
+        for h in handles {
+            assert_eq!(h.try_take(), Some(7));
+        }
+    }
+
+    #[test]
+    fn semaphore_fifo_ordering() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(&sim, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let sem = sem.clone();
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                log.borrow_mut().push(i);
+                s.sleep(1.0).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<TaskId>,
+}
+
+/// A reusable phase barrier for a fixed number of simulated participants
+/// (e.g. the node's worker processes synchronizing between forward,
+/// backward, and update phases).
+pub struct Barrier {
+    sim: Sim,
+    state: Rc<RefCell<BarrierState>>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` participants.
+    pub fn new(sim: &Sim, parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrives at the barrier; resolves once all parties of this
+    /// generation have arrived. Returns `true` for the last arriver (the
+    /// "leader", mirroring `std::sync::Barrier`).
+    pub fn wait(&self) -> BarrierWait {
+        BarrierWait {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+            phase: None,
+        }
+    }
+
+    /// Parties currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.state.borrow().arrived
+    }
+}
+
+impl Clone for Barrier {
+    fn clone(&self) -> Self {
+        Barrier {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    sim: Sim,
+    state: Rc<RefCell<BarrierState>>,
+    /// (generation we joined, whether we are the leader).
+    phase: Option<(u64, bool)>,
+}
+
+impl Future for BarrierWait {
+    type Output = bool;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<bool> {
+        let this = &mut *self;
+        let mut s = this.state.borrow_mut();
+        match this.phase {
+            None => {
+                s.arrived += 1;
+                if s.arrived == s.parties {
+                    // Leader: release everyone and open the next generation.
+                    s.arrived = 0;
+                    s.generation += 1;
+                    let waiters = std::mem::take(&mut s.waiters);
+                    drop(s);
+                    for t in waiters {
+                        this.sim.wake(t);
+                    }
+                    Poll::Ready(true)
+                } else {
+                    let gen = s.generation;
+                    let task = this.sim.current_task();
+                    s.waiters.push(task);
+                    this.phase = Some((gen, false));
+                    Poll::Pending
+                }
+            }
+            Some((gen, _)) => {
+                if s.generation > gen {
+                    Poll::Ready(false)
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup
+// ---------------------------------------------------------------------------
+
+struct WgState {
+    count: usize,
+    waiters: Vec<TaskId>,
+}
+
+/// Tracks a dynamic set of outstanding operations (e.g. lazily spawned
+/// flush tasks); [`WaitGroup::wait`] resolves when the count returns to
+/// zero.
+pub struct WaitGroup {
+    sim: Sim,
+    state: Rc<RefCell<WgState>>,
+}
+
+impl WaitGroup {
+    /// Creates an empty wait group.
+    pub fn new(sim: &Sim) -> Self {
+        WaitGroup {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(WgState {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers one outstanding operation; drop the token to complete it.
+    pub fn add(&self) -> WgToken {
+        self.state.borrow_mut().count += 1;
+        WgToken {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Outstanding operations.
+    pub fn count(&self) -> usize {
+        self.state.borrow().count
+    }
+
+    /// Resolves when no operations are outstanding (immediately if none).
+    pub fn wait(&self) -> WgWait {
+        WgWait {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+            registered: false,
+        }
+    }
+}
+
+impl Clone for WaitGroup {
+    fn clone(&self) -> Self {
+        WaitGroup {
+            sim: self.sim.clone(),
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Completion token returned by [`WaitGroup::add`].
+pub struct WgToken {
+    sim: Sim,
+    state: Rc<RefCell<WgState>>,
+}
+
+impl Drop for WgToken {
+    fn drop(&mut self) {
+        let waiters = {
+            let mut s = self.state.borrow_mut();
+            s.count -= 1;
+            if s.count == 0 {
+                std::mem::take(&mut s.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        for t in waiters {
+            self.sim.wake(t);
+        }
+    }
+}
+
+/// Future returned by [`WaitGroup::wait`].
+pub struct WgWait {
+    sim: Sim,
+    state: Rc<RefCell<WgState>>,
+    registered: bool,
+}
+
+impl Future for WgWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        if s.count == 0 {
+            return Poll::Ready(());
+        }
+        let task = self.sim.current_task();
+        if !s.waiters.contains(&task) {
+            s.waiters.push(task);
+        }
+        drop(s);
+        self.registered = true;
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn barrier_releases_all_parties_together() {
+        let sim = Sim::new();
+        let barrier = Barrier::new(&sim, 3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u64 {
+            let b = barrier.clone();
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(i as f64).await; // staggered arrivals
+                let leader = b.wait().await;
+                log.borrow_mut().push((s.now_secs(), i, leader));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        // Everyone released at t = 2 s (the last arrival).
+        assert!(
+            log.iter().all(|&(t, _, _)| (t - 2.0).abs() < 1e-9),
+            "{log:?}"
+        );
+        assert_eq!(log.iter().filter(|&&(_, _, l)| l).count(), 1, "one leader");
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let sim = Sim::new();
+        let barrier = Barrier::new(&sim, 2);
+        let mut handles = Vec::new();
+        for i in 0..2u64 {
+            let b = barrier.clone();
+            let s = sim.clone();
+            handles.push(sim.spawn(async move {
+                let mut times = Vec::new();
+                for round in 0..3u64 {
+                    s.sleep((i + round) as f64 * 0.1).await;
+                    b.wait().await;
+                    times.push(s.now_secs());
+                }
+                times
+            }));
+        }
+        sim.run();
+        let a = handles[0].try_take().unwrap();
+        let b = handles[1].try_take().unwrap();
+        assert_eq!(a, b, "parties must leave every round together");
+    }
+
+    #[test]
+    fn waitgroup_waits_for_dynamic_tasks() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new(&sim);
+        let done = Rc::new(RefCell::new(0));
+        for i in 0..4u64 {
+            let token = wg.add();
+            let s = sim.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                s.sleep(i as f64 * 0.5).await;
+                *done.borrow_mut() += 1;
+                drop(token);
+            });
+        }
+        let wg2 = wg.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            wg2.wait().await;
+            s.now_secs()
+        });
+        sim.run();
+        assert_eq!(*done.borrow(), 4);
+        assert!((h.try_take().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_waitgroup_resolves_immediately() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new(&sim);
+        let s = sim.clone();
+        let wg2 = wg.clone();
+        sim.block_on(async move {
+            wg2.wait().await;
+            assert_eq!(s.now(), 0);
+        });
+    }
+}

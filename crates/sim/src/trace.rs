@@ -1,0 +1,128 @@
+//! Lightweight virtual-time event tracing.
+//!
+//! A [`Tracer`] collects `(time, label)` samples from inside simulated
+//! tasks — handy when debugging pipeline schedules ("when did worker 2
+//! start flushing subgroup 17?") or asserting ordering properties in
+//! tests without threading state through every future.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::time::SimTime;
+
+/// One trace sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the sample, nanoseconds.
+    pub at: SimTime,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// A shared, ordered event log. Cheap to clone.
+pub struct Tracer {
+    sim: Sim,
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        Tracer {
+            sim: self.sim.clone(),
+            events: Rc::clone(&self.events),
+        }
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer bound to `sim`'s clock.
+    pub fn new(sim: &Sim) -> Self {
+        Tracer {
+            sim: sim.clone(),
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Records `label` at the current virtual time.
+    pub fn record(&self, label: impl Into<String>) {
+        self.events.borrow_mut().push(TraceEvent {
+            at: self.sim.now(),
+            label: label.into(),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Snapshot of all events in record order (which is also time order:
+    /// the virtual clock never goes backwards).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Times of every event whose label satisfies `pred`.
+    pub fn times_where(&self, pred: impl Fn(&str) -> bool) -> Vec<SimTime> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| pred(&e.label))
+            .map(|e| e.at)
+            .collect()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn events_carry_virtual_timestamps_in_order() {
+        let sim = Sim::new();
+        let tracer = Tracer::new(&sim);
+        for i in 0..3u64 {
+            let t = tracer.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(i as f64).await;
+                t.record(format!("task{i}:start"));
+                s.sleep(0.5).await;
+                t.record(format!("task{i}:end"));
+            });
+        }
+        sim.run();
+        let events = tracer.events();
+        assert_eq!(events.len(), 6);
+        // Record order is time order.
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert_eq!(
+            tracer.times_where(|l| l.ends_with("start")),
+            vec![secs(0.0), secs(1.0), secs(2.0)]
+        );
+    }
+
+    #[test]
+    fn clear_resets_the_log() {
+        let sim = Sim::new();
+        let tracer = Tracer::new(&sim);
+        tracer.record("x");
+        assert!(!tracer.is_empty());
+        tracer.clear();
+        assert!(tracer.is_empty());
+    }
+}

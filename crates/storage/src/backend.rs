@@ -1,0 +1,315 @@
+//! Real byte-moving storage backends for the functional engines.
+//!
+//! The functional path moves actual optimizer state through these
+//! backends, validating the engines' data handling end to end. Two
+//! implementations:
+//!
+//! * [`MemBackend`] — an in-memory key/value disk with optional bandwidth
+//!   throttling (sleeps proportional to bytes), used in tests to create
+//!   realistic fast/slow tier asymmetries without touching the filesystem.
+//! * [`DirBackend`] — one file per key under a root directory; what a real
+//!   deployment would point at `/local/nvme` and `/lustre/project`.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A blocking key/value storage target. Object keys are engine-chosen
+/// strings (e.g. `"rank0/subgroup17"`).
+pub trait Backend: Send + Sync + 'static {
+    /// Stores `data` under `key`, replacing any previous value.
+    fn write(&self, key: &str, data: &[u8]) -> io::Result<()>;
+    /// Retrieves the value stored under `key`.
+    fn read(&self, key: &str) -> io::Result<Vec<u8>>;
+    /// Removes `key` if present.
+    fn delete(&self, key: &str) -> io::Result<()>;
+    /// Whether `key` currently exists.
+    fn contains(&self, key: &str) -> bool;
+    /// A short display name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+// ---------------------------------------------------------------------------
+// MemBackend
+// ---------------------------------------------------------------------------
+
+/// In-memory backend with optional read/write throttling.
+pub struct MemBackend {
+    name: String,
+    map: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    read_bps: Option<f64>,
+    write_bps: Option<f64>,
+}
+
+impl MemBackend {
+    /// Unthrottled in-memory backend.
+    pub fn new(name: impl Into<String>) -> Self {
+        MemBackend {
+            name: name.into(),
+            map: Mutex::new(HashMap::new()),
+            read_bps: None,
+            write_bps: None,
+        }
+    }
+
+    /// Throttled backend: reads/writes sleep `bytes / bps`. Use to model a
+    /// slow NVMe or PFS in functional tests.
+    pub fn throttled(name: impl Into<String>, read_bps: f64, write_bps: f64) -> Self {
+        assert!(
+            read_bps > 0.0 && write_bps > 0.0,
+            "throughput must be positive"
+        );
+        MemBackend {
+            name: name.into(),
+            map: Mutex::new(HashMap::new()),
+            read_bps: Some(read_bps),
+            write_bps: Some(write_bps),
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.map.lock().values().map(|v| v.len()).sum()
+    }
+
+    fn throttle(bps: Option<f64>, bytes: usize) {
+        if let Some(bps) = bps {
+            let secs = bytes as f64 / bps;
+            if secs > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
+    }
+}
+
+impl Backend for MemBackend {
+    fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        Self::throttle(self.write_bps, data.len());
+        self.map
+            .lock()
+            .insert(key.to_string(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn read(&self, key: &str) -> io::Result<Vec<u8>> {
+        let data =
+            self.map.lock().get(key).cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no object {key}"))
+            })?;
+        Self::throttle(self.read_bps, data.len());
+        Ok(data.as_ref().clone())
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        self.map.lock().remove(key);
+        Ok(())
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.map.lock().contains_key(key)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DirBackend
+// ---------------------------------------------------------------------------
+
+/// Filesystem-directory backend: each key becomes one file under the root
+/// (path separators in keys map to subdirectories).
+pub struct DirBackend {
+    name: String,
+    root: PathBuf,
+    fsync: bool,
+}
+
+impl DirBackend {
+    /// Creates the backend, creating `root` if needed.
+    pub fn new(name: impl Into<String>, root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirBackend {
+            name: name.into(),
+            root,
+            fsync: false,
+        })
+    }
+
+    /// Forces an `fsync` after every write — required when the directory
+    /// is a checkpoint target that must survive power loss, optional for
+    /// offload staging (a crash loses the training run anyway).
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &str) -> io::Result<PathBuf> {
+        // Reject path escapes; keys are engine-generated, so this is a
+        // defensive check, not a sanitization layer.
+        if key.split('/').any(|c| c == ".." || c.is_empty()) || key.starts_with('/') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid object key {key:?}"),
+            ));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl Backend for DirBackend {
+    fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename for atomic replacement, as a real offloading
+        // engine must not expose torn subgroup state to a concurrent fetch.
+        let tmp = path.with_extension("tmp");
+        if self.fsync {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        } else {
+            std::fs::write(&tmp, data)?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn read(&self, key: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path_for(key)?)
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path_for(key)?) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.path_for(key).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_round_trip() {
+        let b = MemBackend::new("mem");
+        b.write("a/b", &[1, 2, 3]).unwrap();
+        assert!(b.contains("a/b"));
+        assert_eq!(b.read("a/b").unwrap(), vec![1, 2, 3]);
+        b.delete("a/b").unwrap();
+        assert!(!b.contains("a/b"));
+        assert!(b.read("a/b").is_err());
+    }
+
+    #[test]
+    fn mem_backend_overwrites() {
+        let b = MemBackend::new("mem");
+        b.write("k", &[1]).unwrap();
+        b.write("k", &[2, 3]).unwrap();
+        assert_eq!(b.read("k").unwrap(), vec![2, 3]);
+        assert_eq!(b.object_count(), 1);
+        assert_eq!(b.total_bytes(), 2);
+    }
+
+    #[test]
+    fn throttled_backend_is_slower() {
+        let fast = MemBackend::new("fast");
+        let slow = MemBackend::throttled("slow", 1e6, 1e6); // 1 MB/s
+        let data = vec![0u8; 100_000]; // 0.1 s at 1 MB/s
+
+        let t0 = std::time::Instant::now();
+        fast.write("k", &data).unwrap();
+        let fast_t = t0.elapsed();
+
+        let t0 = std::time::Instant::now();
+        slow.write("k", &data).unwrap();
+        let slow_t = t0.elapsed();
+
+        assert!(
+            slow_t.as_secs_f64() >= 0.08,
+            "throttle not applied: {slow_t:?}"
+        );
+        assert!(slow_t > fast_t);
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "mlp-storage-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn dir_backend_round_trip() {
+        let root = temp_root("rt");
+        let b = DirBackend::new("dir", &root).unwrap();
+        b.write("rank0/sub3", &[9, 8, 7]).unwrap();
+        assert!(b.contains("rank0/sub3"));
+        assert_eq!(b.read("rank0/sub3").unwrap(), vec![9, 8, 7]);
+        b.delete("rank0/sub3").unwrap();
+        assert!(!b.contains("rank0/sub3"));
+        b.delete("rank0/sub3").unwrap(); // idempotent
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_fsync_round_trips() {
+        let root = temp_root("fsync");
+        let b = DirBackend::new("dir", &root).unwrap().with_fsync(true);
+        b.write("durable", &[1, 2, 3]).unwrap();
+        assert_eq!(b.read("durable").unwrap(), vec![1, 2, 3]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_rejects_escaping_keys() {
+        let root = temp_root("esc");
+        let b = DirBackend::new("dir", &root).unwrap();
+        assert!(b.write("../evil", &[1]).is_err());
+        assert!(b.write("/abs", &[1]).is_err());
+        assert!(b.write("a//b", &[1]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_overwrite_is_atomic_replacement() {
+        let root = temp_root("atomic");
+        let b = DirBackend::new("dir", &root).unwrap();
+        b.write("k", &vec![1u8; 1000]).unwrap();
+        b.write("k", &vec![2u8; 500]).unwrap();
+        let got = b.read("k").unwrap();
+        assert_eq!(got.len(), 500);
+        assert!(got.iter().all(|&x| x == 2));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

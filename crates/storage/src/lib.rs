@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Storage-tier substrate.
+//!
+//! The paper's third-level tier is a set of *alternative storages* —
+//! node-local NVMe, a parallel file system, object stores — each with its
+//! own read/write bandwidth and behaviour under concurrency (Table 1,
+//! §3.1). This crate provides:
+//!
+//! * [`spec::TierSpec`] — a tier's measured characteristics, with constants
+//!   for both paper testbeds.
+//! * [`sim_tier::SimTier`] — a virtual-time tier backed by fluid-flow
+//!   bandwidth links, used by the performance-reproduction engines.
+//! * [`backend`] — real byte-moving backends (in-memory with optional
+//!   throttling, filesystem directory), used by the functional engines and
+//!   the real async I/O layer.
+//! * [`microbench`] — the B_i measurement step of the paper's performance
+//!   model (§3.3), for both real backends and simulated tiers.
+//! * [`integrity`] — CRC-32 framing that turns silent corruption of
+//!   offloaded state into an I/O error at fetch time.
+
+pub mod backend;
+pub mod integrity;
+pub mod microbench;
+pub mod sim_tier;
+pub mod spec;
+
+pub use backend::{Backend, DirBackend, MemBackend};
+pub use integrity::ChecksummedBackend;
+pub use sim_tier::SimTier;
+pub use spec::{TierKind, TierSpec};

@@ -1,0 +1,202 @@
+//! Tier specifications, parameterised from Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Gigabytes/second in bytes/second.
+pub const GBPS: f64 = 1e9;
+
+/// What kind of storage a tier is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Host DRAM (second-level tier).
+    HostMemory,
+    /// Node-local NVMe SSD.
+    Nvme,
+    /// Remote parallel file system (VAST, Lustre, ...).
+    Pfs,
+    /// Remote object store (DAOS, S3-like).
+    ObjectStore,
+}
+
+impl TierKind {
+    /// Whether the tier survives node failure (used by the checkpoint
+    /// pre-staging integration, §3.3).
+    pub fn is_persistent(self) -> bool {
+        !matches!(self, TierKind::HostMemory)
+    }
+
+    /// Whether the tier is shared across compute nodes.
+    pub fn is_shared(self) -> bool {
+        matches!(self, TierKind::Pfs | TierKind::ObjectStore)
+    }
+}
+
+/// Measured characteristics of one storage tier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Display name, e.g. `"nvme"`.
+    pub name: String,
+    /// Tier kind.
+    pub kind: TierKind,
+    /// Sequential read throughput, bytes/second.
+    pub read_bps: f64,
+    /// Sequential write throughput, bytes/second.
+    pub write_bps: f64,
+    /// Capacity in bytes (effectively unbounded for a PFS).
+    pub capacity_bytes: u64,
+    /// Efficiency of both links while reads and writes are in flight
+    /// simultaneously (interleaved mixed I/O). Single-direction streaming
+    /// keeps full bandwidth regardless of concurrency (the flat aggregate
+    /// of Fig. 4); uncoordinated training I/O overlaps prefetch reads with
+    /// flush writes and pays this penalty. Calibrated jointly against the
+    /// paper's 40B/Testbed-1 numbers: a ~213 s DeepSpeed update phase and
+    /// ~3 GB/s effective I/O under interleaved access (Fig. 9), while
+    /// keeping write-only backward flushes at the full 5.3 GB/s (≈28 s).
+    /// Tier-exclusive locking (the paper's "Process Atomic R/W") avoids
+    /// mixed mode entirely (§3.2), trading r/w overlap for full-rate
+    /// sequential access — a net win below ≈0.55 efficiency.
+    pub mixed_rw_efficiency: f64,
+    /// Fixed per-operation latency in seconds (submission + seek).
+    pub op_latency_s: f64,
+}
+
+impl TierSpec {
+    /// The bandwidth the §3.3 performance model uses for subgroup
+    /// allocation: the minimum of read and write throughput.
+    pub fn model_bandwidth_bps(&self) -> f64 {
+        self.read_bps.min(self.write_bps)
+    }
+}
+
+const TIB: u64 = 1 << 40;
+
+/// Testbed-1 (JLSE, 4×H100) node-local NVMe: 6.9 GB/s read, 5.3 GB/s write.
+pub fn testbed1_nvme() -> TierSpec {
+    TierSpec {
+        name: "nvme".into(),
+        kind: TierKind::Nvme,
+        read_bps: 6.9 * GBPS,
+        write_bps: 5.3 * GBPS,
+        capacity_bytes: 3 * TIB, // 2× 1.6 TB RAID
+        mixed_rw_efficiency: 0.43,
+        op_latency_s: 100e-6,
+    }
+}
+
+/// Testbed-1 VAST PFS: 3.6 GB/s read and write.
+pub fn testbed1_pfs() -> TierSpec {
+    TierSpec {
+        name: "pfs".into(),
+        kind: TierKind::Pfs,
+        read_bps: 3.6 * GBPS,
+        write_bps: 3.6 * GBPS,
+        capacity_bytes: 1024 * TIB, // 1 PB
+        mixed_rw_efficiency: 0.75,
+        op_latency_s: 500e-6,
+    }
+}
+
+/// Testbed-2 (Polaris, 4×A100) node-local NVMe: 13.5 GB/s read,
+/// 4.8 GB/s write.
+pub fn testbed2_nvme() -> TierSpec {
+    TierSpec {
+        name: "nvme".into(),
+        kind: TierKind::Nvme,
+        read_bps: 13.5 * GBPS,
+        write_bps: 4.8 * GBPS,
+        capacity_bytes: 3 * TIB,
+        mixed_rw_efficiency: 0.43,
+        op_latency_s: 100e-6,
+    }
+}
+
+/// Testbed-2 Lustre (HPE ClusterStor E1000): 6.9 GB/s read,
+/// 13.7 GB/s write per node.
+pub fn testbed2_pfs() -> TierSpec {
+    TierSpec {
+        name: "pfs".into(),
+        kind: TierKind::Pfs,
+        read_bps: 6.9 * GBPS,
+        write_bps: 13.7 * GBPS,
+        capacity_bytes: 100 * 1024 * TIB, // 100 PB
+        mixed_rw_efficiency: 0.75,
+        op_latency_s: 500e-6,
+    }
+}
+
+/// A next-generation CXL memory-pool tier (§5 future work): byte-
+/// addressable far memory behind a CXL 3.x switch — far faster than any
+/// disk, slower and larger than local DRAM, immune to read/write
+/// interleaving penalties (it is memory, not flash).
+pub fn cxl_pool() -> TierSpec {
+    TierSpec {
+        name: "cxl".into(),
+        kind: TierKind::HostMemory,
+        read_bps: 30.0 * GBPS,
+        write_bps: 25.0 * GBPS,
+        capacity_bytes: TIB, // 1 TB pooled expansion
+        mixed_rw_efficiency: 1.0,
+        op_latency_s: 2e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t1n = testbed1_nvme();
+        assert_eq!(t1n.read_bps, 6.9e9);
+        assert_eq!(t1n.write_bps, 5.3e9);
+        let t2p = testbed2_pfs();
+        assert_eq!(t2p.read_bps, 6.9e9);
+        assert_eq!(t2p.write_bps, 13.7e9);
+    }
+
+    #[test]
+    fn model_bandwidth_is_min_of_read_write() {
+        assert_eq!(testbed1_nvme().model_bandwidth_bps(), 5.3e9);
+        assert_eq!(testbed2_nvme().model_bandwidth_bps(), 4.8e9);
+        assert_eq!(testbed1_pfs().model_bandwidth_bps(), 3.6e9);
+    }
+
+    #[test]
+    fn paper_2_to_1_split_on_testbed1() {
+        // §4.3 / Fig. 10: NVMe:PFS subgroup split is ~2:1, consistent with
+        // the min-bandwidth ratio 5.3 : 3.6.
+        let ratio = testbed1_nvme().model_bandwidth_bps() / testbed1_pfs().model_bandwidth_bps();
+        assert!((1.3..=2.2).contains(&ratio));
+    }
+
+    #[test]
+    fn cxl_is_memory_class() {
+        let c = cxl_pool();
+        assert_eq!(c.mixed_rw_efficiency, 1.0);
+        assert!(!c.kind.is_persistent());
+        assert!(c.read_bps > testbed1_nvme().read_bps);
+    }
+
+    #[test]
+    fn persistence_and_sharing_flags() {
+        assert!(!TierKind::HostMemory.is_persistent());
+        assert!(TierKind::Nvme.is_persistent());
+        assert!(!TierKind::Nvme.is_shared());
+        assert!(TierKind::Pfs.is_shared());
+    }
+
+    #[test]
+    fn calibrated_nvme_mixed_efficiency_reproduces_ds_update_time() {
+        // 40B on Testbed-1: DeepSpeed reads 640 GB (state+grads) and
+        // writes 480 GB per update. With mixed-I/O overlap at efficiency e
+        // the phase takes max(640/(e·6.9), 480/(e·5.3)) seconds; the paper
+        // reports 213 s.
+        let spec = testbed1_nvme();
+        let e = spec.mixed_rw_efficiency;
+        let secs = (640.0 / (e * 6.9)).max(480.0 / (e * 5.3));
+        assert!((195.0..230.0).contains(&secs), "update model gives {secs}s");
+        // And exclusive (serialized, full-rate) access must beat it:
+        let locked = 640.0 / 6.9 + 480.0 / 5.3;
+        assert!(locked < secs, "locking must win: {locked} vs {secs}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Byte-addressed host staging buffers with typed accessors.
+//!
+//! A [`HostBuffer`] is the unit of I/O in the functional offloading path: a
+//! subgroup's FP32 optimizer state is serialized into one before being
+//! flushed to a tier, and deserialized out of one after a fetch. Typed
+//! access is copy-based (`from_le_bytes`/`to_le_bytes`), which keeps the
+//! code free of `unsafe` while still auto-vectorizing well.
+
+/// A resizable, byte-addressed staging buffer.
+#[derive(Clone, Default)]
+pub struct HostBuffer {
+    data: Vec<u8>,
+}
+
+impl HostBuffer {
+    /// Creates a zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        HostBuffer {
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Creates a buffer that takes ownership of `data`.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        HostBuffer { data }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, returning the backing bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Copies `count` little-endian `f32`s starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_f32(&self, offset: usize, count: usize) -> Vec<f32> {
+        let end = offset + count * 4;
+        assert!(end <= self.data.len(), "read_f32 out of bounds");
+        self.data[offset..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Copies `dst.len()` little-endian `f32`s starting at byte `offset`
+    /// into `dst` without allocating.
+    pub fn read_f32_into(&self, offset: usize, dst: &mut [f32]) {
+        let end = offset + dst.len() * 4;
+        assert!(end <= self.data.len(), "read_f32_into out of bounds");
+        for (d, c) in dst.iter_mut().zip(self.data[offset..end].chunks_exact(4)) {
+            *d = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+    }
+
+    /// Writes `src` as little-endian `f32`s starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_f32(&mut self, offset: usize, src: &[f32]) {
+        let end = offset + src.len() * 4;
+        assert!(end <= self.data.len(), "write_f32 out of bounds");
+        for (c, s) in self.data[offset..end].chunks_exact_mut(4).zip(src) {
+            c.copy_from_slice(&s.to_le_bytes());
+        }
+    }
+
+    /// Copies `count` little-endian `u16`s (FP16 bit patterns) starting at
+    /// byte `offset`.
+    pub fn read_u16(&self, offset: usize, count: usize) -> Vec<u16> {
+        let end = offset + count * 2;
+        assert!(end <= self.data.len(), "read_u16 out of bounds");
+        self.data[offset..end]
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect()
+    }
+
+    /// Writes `src` as little-endian `u16`s starting at byte `offset`.
+    pub fn write_u16(&mut self, offset: usize, src: &[u16]) {
+        let end = offset + src.len() * 2;
+        assert!(end <= self.data.len(), "write_u16 out of bounds");
+        for (c, s) in self.data[offset..end].chunks_exact_mut(2).zip(src) {
+            c.copy_from_slice(&s.to_le_bytes());
+        }
+    }
+}
+
+impl std::fmt::Debug for HostBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HostBuffer({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let mut buf = HostBuffer::zeroed(64);
+        let vals = [1.5f32, -2.25, 0.0, f32::MAX];
+        buf.write_f32(8, &vals);
+        assert_eq!(buf.read_f32(8, 4), vals);
+    }
+
+    #[test]
+    fn u16_round_trip() {
+        let mut buf = HostBuffer::zeroed(32);
+        let vals = [0u16, 1, 0x7C00, 0xFFFF];
+        buf.write_u16(4, &vals);
+        assert_eq!(buf.read_u16(4, 4), vals);
+    }
+
+    #[test]
+    fn read_into_avoids_allocation_and_matches() {
+        let mut buf = HostBuffer::zeroed(40);
+        let vals: Vec<f32> = (0..10).map(|i| i as f32 * 0.5).collect();
+        buf.write_f32(0, &vals);
+        let mut out = vec![0.0f32; 10];
+        buf.read_f32_into(0, &mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        let mut buf = HostBuffer::zeroed(4);
+        buf.write_f32(0, &[1.0]);
+        assert_eq!(buf.as_bytes(), &1.0f32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let mut buf = HostBuffer::zeroed(4);
+        buf.write_f32(4, &[1.0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! IEEE 754 binary16 ("half precision") implemented from scratch.
+//!
+//! The offloading engines move FP16 model parameters and gradients between
+//! device, host, and storage tiers, and the delayed-conversion optimization
+//! upscales FP16 gradients to FP32 on the fly during the update phase. We
+//! implement the format ourselves (rather than depending on the `half`
+//! crate) because the conversion *is* part of the system under study.
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+
+/// A 16-bit IEEE 754 binary16 value, stored as its bit pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A canonical quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2⁻¹⁴ ≈ 6.1035e-5).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value (2⁻²⁴ ≈ 5.96e-8).
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+
+    /// Converts an `f32` with IEEE round-to-nearest-even semantics,
+    /// overflowing to infinity and flushing tiny values to (signed) zero.
+    #[inline]
+    pub fn from_f32(x: f32) -> F16 {
+        F16(f32_to_f16_bits(x))
+    }
+
+    /// Widens to `f32` exactly (every binary16 value is representable).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Whether the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Whether the value is ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// Whether the value is finite (neither NaN nor ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Whether the value is subnormal (non-zero with a zero exponent).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Sign bit set (true for negative values, including -0 and negative
+    /// NaNs).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+}
+
+impl std::fmt::Debug for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> Self {
+        h.to_f32()
+    }
+}
+
+/// Converts an `f32` bit-exactly to binary16 bits with round-to-nearest-even.
+#[inline]
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Infinity or NaN. Preserve NaN-ness; force the quiet bit so a
+        // signalling payload that would truncate to zero stays a NaN.
+        return if man == 0 {
+            sign | EXP_MASK
+        } else {
+            sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK)
+        };
+    }
+
+    // Unbiased exponent of the f32 value (normals; subnormal f32 inputs are
+    // far below the f16 subnormal range and flush to zero below).
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1F {
+        // Overflow → ±∞.
+        return sign | EXP_MASK;
+    }
+
+    if half_exp <= 0 {
+        // Result is subnormal (or underflows to zero). The implicit leading
+        // one must be materialized, then the 24-bit significand is shifted
+        // right by (14 - unbiased) with round-to-nearest-even.
+        if half_exp < -10 {
+            // Below half the smallest subnormal: rounds to signed zero.
+            return sign;
+        }
+        // The result mantissa is round(significand × 2^(unbiased+1)) since
+        // value = significand × 2^(unbiased−23) and man16 = value × 2²⁴.
+        let significand = man | 0x0080_0000; // implicit bit
+        let shift = (-unbiased - 1) as u32; // in [14, 24]
+        let halfway = 1u32 << (shift - 1);
+        let mask = (1u32 << shift) - 1;
+        let mut half_man = (significand >> shift) as u16;
+        let rem = significand & mask;
+        if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+            half_man += 1; // may carry into the exponent: 0x0400 = 2^-14 ✓
+        }
+        return sign | half_man;
+    }
+
+    // Normal result: keep 10 of the 23 mantissa bits, rounding to nearest
+    // even on the discarded 13 bits. The mantissa increment may carry into
+    // the exponent, which is exactly correct in IEEE encoding (including a
+    // carry to infinity).
+    let mut out = sign | ((half_exp as u16) << 10) | ((man >> 13) as u16);
+    let rem = man & 0x1FFF;
+    if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+        out += 1;
+    }
+    out
+}
+
+/// Widens binary16 bits exactly to an `f32`.
+#[inline]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & SIGN_MASK) as u32) << 16;
+    let exp = ((h & EXP_MASK) >> 10) as u32;
+    let man = (h & MAN_MASK) as u32;
+
+    let bits = match exp {
+        0 => {
+            if man == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = man × 2⁻²⁴ with the highest set bit of
+                // `man` at position p becoming the implicit bit, so the f32
+                // exponent is p − 24 (biased: 103 + p = 113 − lz).
+                let lz = man.leading_zeros() - 21; // zeros above bit 10 → 10 − p
+                let man = (man << lz) & MAN_MASK as u32; // implicit bit at 10, masked off
+                let exp32 = 113 - lz;
+                sign | (exp32 << 23) | (man << 13)
+            }
+        }
+        0x1F => {
+            if man == 0 {
+                sign | 0x7F80_0000 // ±∞
+            } else {
+                sign | 0x7FC0_0000 | (man << 13) // NaN, keep payload, quiet
+            }
+        }
+        _ => {
+            let exp32 = exp + 127 - 15;
+            sign | (exp32 << 23) | (man << 13)
+        }
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::from_f32(-1.0).to_bits(), 0xBC00);
+        assert_eq!(F16::from_f32(2.0).to_bits(), 0x4000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+        assert!(F16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn widening_known_values() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert!(F16::NAN.to_f32().is_nan());
+        assert_eq!(F16(0x8000).to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY); // above MAX + ulp/2
+        assert_eq!(F16::from_f32(1e9), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e9), F16::NEG_INFINITY);
+        // 65519.996 rounds down to MAX.
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(F16::from_f32(1e-30).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-1e-30).to_bits(), 0x8000);
+        // Half of the smallest subnormal is a round-to-even tie → zero.
+        let half_min_sub = 2.0f32.powi(-25);
+        assert_eq!(F16::from_f32(half_min_sub).to_bits(), 0x0000);
+        // Just above the tie rounds up to the smallest subnormal.
+        let just_above = f32::from_bits(half_min_sub.to_bits() + 1);
+        assert_eq!(F16::from_f32(just_above), F16::MIN_POSITIVE_SUBNORMAL);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and 1 + 2⁻¹⁰: ties to the
+        // even mantissa (1.0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie), F16::ONE);
+        // (1 + 2⁻¹⁰) + 2⁻¹¹ ties to even: rounds UP to 1 + 2·2⁻¹⁰.
+        let tie_up = 1.0 + 2.0f32.powi(-10) + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie_up).to_bits(), 0x3C02);
+        // Slightly above a tie always rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn subnormal_round_trip_examples() {
+        for k in 1..=10 {
+            let v = k as f32 * 2.0f32.powi(-24);
+            let h = F16::from_f32(v);
+            assert_eq!(h.to_bits(), k as u16, "subnormal {k}·2⁻²⁴");
+            assert_eq!(h.to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // Largest mantissa at exponent 0 rounds up across the power-of-two
+        // boundary: 1.9995117... + ulp/2 → 2.0.
+        let v = f16_bits_to_f32(0x3FFF); // 1.9990234375
+        let just_under_2 = v + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(just_under_2).to_bits(), 0x4000);
+    }
+
+    #[test]
+    fn exhaustive_f16_to_f32_round_trip() {
+        // Every non-NaN f16 bit pattern must survive f16 → f32 → f16
+        // exactly; NaNs must stay NaNs.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan(), "NaN lost at {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "round trip failed at {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_widening_matches_reference() {
+        // Independent reference: reconstruct the value arithmetically.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let sign = if bits & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+            let exp = ((bits >> 10) & 0x1F) as i32;
+            let man = (bits & 0x3FF) as f64;
+            let expected = match exp {
+                0 => sign * man * 2f64.powi(-24),
+                0x1F => sign * f64::INFINITY,
+                _ => sign * (1.0 + man / 1024.0) * 2f64.powi(exp - 15),
+            };
+            assert_eq!(h.to_f32() as f64, expected, "widening {bits:#06x}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn narrowing_error_within_half_ulp(x in -65504.0f32..65504.0) {
+            let h = F16::from_f32(x);
+            prop_assert!(h.is_finite());
+            let back = h.to_f32();
+            // Half-ULP bound: ulp(x) for binary16 is 2^(e-10) where e is
+            // the exponent of x (clamped to the subnormal scale).
+            let e = if x.abs() < 2.0f32.powi(-14) {
+                -14
+            } else {
+                x.abs().log2().floor() as i32
+            };
+            let half_ulp = 2.0f32.powi(e - 11);
+            prop_assert!(
+                (back - x).abs() <= half_ulp,
+                "x={x}, back={back}, half_ulp={half_ulp}"
+            );
+        }
+
+        #[test]
+        fn narrowing_is_monotone(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+        }
+
+        #[test]
+        fn sign_preserved(x in proptest::num::f32::NORMAL) {
+            let h = F16::from_f32(x);
+            if !h.is_nan() {
+                prop_assert_eq!(h.is_sign_negative(), x.is_sign_negative());
+            }
+        }
+    }
+}

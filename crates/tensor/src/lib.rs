@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Mixed-precision tensor substrate for the MLP-Offload reproduction.
+//!
+//! Mixed-precision training (§2 of the paper) keeps an FP16 working copy of
+//! the model for forward/backward passes and an FP32 master copy (parameters,
+//! momentum, variance) for the optimizer. The paper's *delayed in-place
+//! mixed-precision gradient conversion* (§3.2) relies on FP16→FP32 upscaling
+//! being an order of magnitude faster than fetching FP32 gradients from a
+//! storage tier (65 GB/s on Testbed-1), so the conversion kernels here are a
+//! first-class, benchmarked component.
+//!
+//! Provided:
+//!
+//! * [`f16::F16`] — IEEE 754 binary16 implemented from scratch (round to
+//!   nearest even, subnormals, infinities, NaN), exhaustively tested.
+//! * [`bf16::BF16`] — bfloat16 (truncated/rounded binary32).
+//! * [`convert`] — bulk upscale/downscale kernels: scalar, rayon-parallel,
+//!   and the in-place byte-buffer variants the delayed-conversion path uses.
+//! * [`buffer::HostBuffer`] — byte-addressed host staging buffer with typed
+//!   accessors, the unit of I/O for the offloading engines.
+//! * [`pool::PinnedPool`] — explicit pool-based allocation of staging
+//!   buffers (mirrors MLP-Offload's "explicit pool-based allocations for
+//!   asynchronous fetch/flush operations", §3.5).
+
+pub mod bf16;
+pub mod buffer;
+pub mod convert;
+pub mod f16;
+pub mod pool;
+
+pub use bf16::BF16;
+pub use buffer::HostBuffer;
+pub use f16::F16;
+pub use pool::{PinnedPool, PooledBuffer};

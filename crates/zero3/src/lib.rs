@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The comparison baseline: DeepSpeed ZeRO-3 with the DeepNVMe
+//! asynchronous offloading engine (Fig. 6 top).
+//!
+//! In simulated mode the baseline is the unified engine of [`mlp_offload`]
+//! with every MLP-Offload optimization disabled
+//! ([`baseline_sim_config`] = [`mlp_offload::EngineConfig::deepspeed_zero3`])
+//! and a single NVMe tier — exactly how the paper's Fig. 14 ablation
+//! treats it. In functional mode the data path genuinely differs, so
+//! [`func::Zero3FuncEngine`] implements it separately: FP16 gradients are
+//! *eagerly* upscaled to FP32 during the backward pass, accumulated in
+//! FP32 on the host, flushed through storage, and fetched back alongside
+//! the optimizer state during the update — the redundant round trip
+//! MLP-Offload's delayed conversion removes.
+
+pub mod func;
+
+pub use func::Zero3FuncEngine;
+pub use mlp_offload::EngineConfig;
+
+/// The simulated-engine configuration for the baseline.
+pub fn baseline_sim_config() -> EngineConfig {
+    EngineConfig::deepspeed_zero3()
+}

@@ -1,0 +1,63 @@
+//! A guided tour of the Fig. 14/15 ablation ladder: activate MLP-Offload's
+//! design principles one at a time on the 70B/Testbed-1 configuration and
+//! watch each one buy its share of the 2.5× speedup.
+//!
+//! ```text
+//! cargo run --release --example ablation_tour
+//! ```
+
+use mlp_offload_suite::mlp_model::zoo;
+use mlp_offload_suite::mlp_offload::config::AblationStage;
+use mlp_offload_suite::mlp_train::driver::{run, summarize, TrainSetup};
+use mlp_offload_suite::mlp_train::testbed1;
+
+fn main() {
+    let tb = testbed1();
+    let model = zoo::model_70b();
+    println!("ablation tour: {model} on {}\n", tb.name);
+
+    let explanations = [
+        "Sequential subgroup order, eager FP32 gradient offload, \
+         uncoordinated tier access: the DeepSpeed ZeRO-3 + DeepNVMe baseline.",
+        "Alternate the subgroup order each iteration so the host-cached \
+         tail of one pass is the head of the next; LRU recycling stops \
+         thrashing and starts hitting.",
+        "Keep FP16 gradients in host memory and upscale during the update \
+         (65 GB/s on the CPU) instead of pushing FP32 gradients through \
+         storage: fetches shrink from 16 to 12 bytes/parameter and the \
+         backward pass stops waiting on the NVMe.",
+        "Node-level tier-exclusive locking: one worker per storage at a \
+         time gets the full sequential bandwidth instead of everyone \
+         sharing a mixed-I/O-degraded channel.",
+    ];
+
+    for multipath in [false, true] {
+        println!(
+            "--- {} ---",
+            if multipath {
+                "with the PFS as a second path (Fig. 15)"
+            } else {
+                "node-local NVMe only (Fig. 14)"
+            }
+        );
+        let mut baseline = None;
+        for (stage, why) in AblationStage::ladder().into_iter().zip(&explanations) {
+            let tiers = if multipath && stage != AblationStage::Baseline {
+                vec![tb.nvme.clone(), tb.pfs.clone()]
+            } else {
+                vec![tb.nvme.clone()]
+            };
+            let mut setup = TrainSetup::new(tb.clone(), model.clone(), stage.config(), tiers);
+            setup.iterations = 4;
+            let s = summarize(&setup, &run(&setup), 2);
+            let base = *baseline.get_or_insert(s.total_s);
+            println!(
+                "{:<22} {:>7.1} s/iter  ({:.2}x)\n    {}\n",
+                stage.label(),
+                s.total_s,
+                base / s.total_s,
+                why
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A full node in functional mode: four worker processes (one per "GPU")
+//! train disjoint ZeRO-3 shards concurrently from separate threads,
+//! sharing two checksummed storage tiers and the node-level
+//! process-exclusive tier locks — the deployment shape of Fig. 2/6.
+//!
+//! ```text
+//! cargo run --release --example multi_worker_node
+//! ```
+
+use std::sync::Arc;
+
+use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
+use mlp_offload_suite::mlp_offload::EngineConfig;
+use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
+use mlp_offload_suite::mlp_storage::{Backend, ChecksummedBackend, MemBackend};
+use mlp_offload_suite::mlp_tensor::F16;
+
+const WORKERS: usize = 4;
+const SUBGROUPS: usize = 8;
+const LEN: usize = 512;
+
+fn main() {
+    // Shared node tiers: every object framed with a CRC-32 so corruption
+    // of offloaded state surfaces as an I/O error, never as bad math.
+    let tiers = vec![
+        SharedTier::new(
+            Arc::new(ChecksummedBackend::new(Arc::new(MemBackend::new("nvme"))))
+                as Arc<dyn Backend>,
+            2.0,
+        ),
+        SharedTier::new(
+            Arc::new(ChecksummedBackend::new(Arc::new(MemBackend::new("pfs")))) as Arc<dyn Backend>,
+            1.0,
+        ),
+    ];
+
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|worker| {
+            let tiers = tiers.clone();
+            std::thread::spawn(move || {
+                let init: Vec<SubgroupState> = (0..SUBGROUPS)
+                    .map(|s| {
+                        SubgroupState::new(
+                            (0..LEN)
+                                .map(|i| ((worker * 1000 + s * LEN + i) as f32 * 0.01).sin())
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let mut engine = MlpFuncEngine::new(
+                    EngineConfig::mlp_offload().with_host_frames(5),
+                    AdamConfig::default(),
+                    &tiers,
+                    worker,
+                    init,
+                )
+                .expect("engine init");
+                engine.set_grad_clip(Some(1.0));
+
+                let mut hits = 0;
+                for iter in 0..8 {
+                    let grads: Vec<Vec<u16>> = (0..SUBGROUPS)
+                        .map(|s| {
+                            (0..LEN)
+                                .map(|i| {
+                                    F16::from_f32(
+                                        ((worker + s * LEN + i + iter) as f32 * 0.03).cos() * 0.05,
+                                    )
+                                    .to_bits()
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    engine.accumulate_gradients(&grads);
+                    let o = engine.update().expect("update");
+                    hits += o.cache_hits;
+                }
+                let dist = engine.tier_distribution();
+                (worker, hits, dist.fractions())
+            })
+        })
+        .collect();
+
+    println!("4 workers × 8 iterations over shared checksummed tiers:\n");
+    for h in handles {
+        let (worker, hits, fractions) = h.join().expect("worker thread");
+        println!(
+            "worker {worker}: {hits} cache hits; state split host {:.0}% / nvme {:.0}% / pfs {:.0}%",
+            fractions[0] * 100.0,
+            fractions[1] * 100.0,
+            fractions[2] * 100.0
+        );
+    }
+    println!("\nall workers completed without lock conflicts or checksum errors ✓");
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the MLP-Offload reproduction workspace.
+//!
+//! Re-exports every member crate so integration tests and examples can use a
+//! single dependency. See the individual crates for the actual library
+//! surface:
+//!
+//! * [`mlp_sim`] — discrete-event simulation kernel
+//! * [`mlp_tensor`] — mixed-precision tensor substrate
+//! * [`mlp_model`] — transformer model math and ZeRO-3 sharding
+//! * [`mlp_optim`] — CPU Adam optimizer with FP32 master state
+//! * [`mlp_storage`] — storage-tier models and backends
+//! * [`mlp_aio`] — asynchronous I/O engine (libaio/DeepNVMe equivalent)
+//! * [`mlp_zero3`] — DeepSpeed ZeRO-3 baseline offloading engine
+//! * [`mlp_offload`] — the MLP-Offload engine (the paper's contribution)
+//! * [`mlp_train`] — training-iteration driver and paper experiments
+
+pub use mlp_aio;
+pub use mlp_model;
+pub use mlp_offload;
+pub use mlp_optim;
+pub use mlp_sim;
+pub use mlp_storage;
+pub use mlp_tensor;
+pub use mlp_train;
+pub use mlp_zero3;

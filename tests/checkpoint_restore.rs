@@ -1,0 +1,155 @@
+//! Checkpoint/restore through the functional engine: resuming from a
+//! checkpoint must continue training exactly where it left off, and
+//! pre-staged subgroups (§3.3) must be referenced rather than copied.
+
+use std::sync::Arc;
+
+use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
+use mlp_offload_suite::mlp_offload::EngineConfig;
+use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
+use mlp_offload_suite::mlp_storage::{Backend, MemBackend};
+use mlp_offload_suite::mlp_tensor::F16;
+
+const SUBGROUPS: usize = 6;
+const LEN: usize = 20;
+
+fn tiers() -> Vec<SharedTier> {
+    vec![
+        SharedTier::new(Arc::new(MemBackend::new("nvme")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::new(MemBackend::new("pfs")) as Arc<dyn Backend>, 1.0),
+    ]
+}
+
+fn states() -> Vec<SubgroupState> {
+    (0..SUBGROUPS)
+        .map(|s| {
+            SubgroupState::new(
+                (0..LEN)
+                    .map(|i| ((s * LEN + i) as f32 * 0.1).sin())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn grads(seed: usize) -> Vec<Vec<u16>> {
+    (0..SUBGROUPS)
+        .map(|s| {
+            (0..LEN)
+                .map(|i| F16::from_f32(((s * LEN + i + seed) as f32 * 0.07).cos() * 0.1).to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+fn step(engine: &mut MlpFuncEngine, seed: usize) {
+    engine.accumulate_gradients(&grads(seed));
+    engine.update().unwrap();
+}
+
+#[test]
+fn restore_resumes_exactly_where_training_left_off() {
+    let shared = tiers();
+    let ckpt = MemBackend::new("pfs-checkpoint");
+    let cfg = EngineConfig::mlp_offload().with_host_frames(5);
+
+    // Uninterrupted run: 6 iterations.
+    let mut straight =
+        MlpFuncEngine::new(cfg.clone(), AdamConfig::default(), &tiers(), 0, states()).unwrap();
+    for it in 0..6 {
+        step(&mut straight, it);
+    }
+
+    // Interrupted run: 3 iterations, checkpoint, drop, restore, 3 more.
+    let mut first =
+        MlpFuncEngine::new(cfg.clone(), AdamConfig::default(), &shared, 0, states()).unwrap();
+    for it in 0..3 {
+        step(&mut first, it);
+    }
+    let (_manifest, stats) = first.checkpoint(&ckpt, "it3", false).unwrap();
+    assert!(
+        stats.prestaged_bytes > 0,
+        "tier-resident subgroups must pre-stage"
+    );
+    assert!(stats.copied_bytes > 0, "host-resident subgroups must copy");
+    drop(first);
+
+    let mut resumed =
+        MlpFuncEngine::restore(cfg, AdamConfig::default(), &shared, 0, &ckpt, "it3").unwrap();
+    assert_eq!(resumed.iterations_done(), 3);
+    for it in 3..6 {
+        step(&mut resumed, it);
+    }
+
+    // The resumed run must land on the identical master state (Adam's
+    // bias correction makes this sensitive to the restored step counter).
+    assert_eq!(
+        resumed.master_params().unwrap(),
+        straight.master_params().unwrap()
+    );
+}
+
+#[test]
+fn materialized_checkpoint_survives_further_training() {
+    let shared = tiers();
+    let ckpt = MemBackend::new("pfs-checkpoint");
+    let cfg = EngineConfig::mlp_offload();
+
+    let mut engine =
+        MlpFuncEngine::new(cfg.clone(), AdamConfig::default(), &shared, 0, states()).unwrap();
+    step(&mut engine, 0);
+    let (manifest, stats) = engine.checkpoint(&ckpt, "full", true).unwrap();
+    assert_eq!(stats.prestaged_bytes, 0, "materialize must copy everything");
+    assert!(manifest.subgroups.iter().all(|l| matches!(
+        l,
+        mlp_offload_suite::mlp_offload::checkpoint::SubgroupLocation::Target { .. }
+    )));
+    let snapshot_params = engine.master_params().unwrap();
+
+    // Keep training: tier objects get rewritten.
+    for it in 1..4 {
+        step(&mut engine, it);
+    }
+
+    // The materialized checkpoint still restores the old snapshot.
+    let restored =
+        MlpFuncEngine::restore(cfg, AdamConfig::default(), &shared, 0, &ckpt, "full").unwrap();
+    assert_eq!(restored.master_params().unwrap(), snapshot_params);
+}
+
+#[test]
+fn prestaged_fraction_grows_with_smaller_cache() {
+    let ckpt = MemBackend::new("target");
+    // Tiny cache → almost everything on tiers → high pre-staged fraction.
+    let small_cache = EngineConfig::mlp_offload().with_host_frames(3);
+    let mut small =
+        MlpFuncEngine::new(small_cache, AdamConfig::default(), &tiers(), 0, states()).unwrap();
+    step(&mut small, 0);
+    let (_, s_small) = small.checkpoint(&ckpt, "a", false).unwrap();
+
+    // Huge cache → everything host-resident → everything copied.
+    let big_cache = EngineConfig::mlp_offload().with_host_frames(64);
+    let mut big =
+        MlpFuncEngine::new(big_cache, AdamConfig::default(), &tiers(), 0, states()).unwrap();
+    step(&mut big, 0);
+    let (_, s_big) = big.checkpoint(&ckpt, "b", false).unwrap();
+
+    assert!(s_small.prestaged_fraction() > s_big.prestaged_fraction());
+    assert_eq!(s_big.prestaged_fraction(), 0.0);
+}
+
+#[test]
+fn restore_fails_cleanly_on_missing_checkpoint() {
+    let ckpt = MemBackend::new("empty");
+    let err = MlpFuncEngine::restore(
+        EngineConfig::mlp_offload(),
+        AdamConfig::default(),
+        &tiers(),
+        0,
+        &ckpt,
+        "nope",
+    )
+    .err()
+    .expect("missing checkpoint must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}

@@ -1,0 +1,147 @@
+//! Cross-configuration equivalence: none of MLP-Offload's performance
+//! optimizations may change the math. Any subgroup order, cache budget,
+//! tier count, locking mode, or pipeline depth must produce bit-identical
+//! master parameters — the invariant §3.2 relies on ("the order in which
+//! the subgroups are independently processed is inconsequential").
+
+use std::sync::Arc;
+
+use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
+use mlp_offload_suite::mlp_offload::{EngineConfig, OrderPolicy};
+use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
+use mlp_offload_suite::mlp_storage::{Backend, MemBackend};
+use mlp_offload_suite::mlp_tensor::F16;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const SUBGROUPS: usize = 9;
+const LEN: usize = 33;
+
+fn tiers(n: usize) -> Vec<SharedTier> {
+    (0..n)
+        .map(|i| {
+            SharedTier::new(
+                Arc::new(MemBackend::new(format!("t{i}"))) as Arc<dyn Backend>,
+                1.0 + i as f64,
+            )
+        })
+        .collect()
+}
+
+fn states(seed: u64) -> Vec<SubgroupState> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..SUBGROUPS)
+        .map(|_| SubgroupState::new((0..LEN).map(|_| rng.random_range(-1.0f32..1.0)).collect()))
+        .collect()
+}
+
+fn grad_set(seed: u64, iters: usize) -> Vec<Vec<Vec<u16>>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..iters)
+        .map(|_| {
+            (0..SUBGROUPS)
+                .map(|_| {
+                    (0..LEN)
+                        .map(|_| F16::from_f32(rng.random_range(-0.2f32..0.2)).to_bits())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn train(cfg: EngineConfig, n_tiers: usize) -> Vec<Vec<f32>> {
+    let mut engine =
+        MlpFuncEngine::new(cfg, AdamConfig::default(), &tiers(n_tiers), 0, states(11)).unwrap();
+    for grads in grad_set(77, 5) {
+        engine.accumulate_gradients(&grads);
+        engine.update().unwrap();
+    }
+    engine.master_params().unwrap()
+}
+
+#[test]
+fn every_configuration_is_bit_identical() {
+    let baseline = train(EngineConfig::mlp_offload(), 1);
+
+    let mut variants: Vec<(String, EngineConfig, usize)> = Vec::new();
+    for order in [
+        OrderPolicy::Ascending,
+        OrderPolicy::Alternating,
+        OrderPolicy::Descending,
+    ] {
+        for frames in [3usize, 6, 20] {
+            for locking in [false, true] {
+                for nt in [1usize, 2, 3] {
+                    let mut cfg = EngineConfig::mlp_offload().with_host_frames(frames);
+                    cfg.order = order;
+                    cfg.tier_exclusive_locking = locking;
+                    variants.push((format!("{order:?}/f{frames}/lock{locking}/t{nt}"), cfg, nt));
+                }
+            }
+        }
+    }
+    assert!(variants.len() > 50);
+    for (name, cfg, nt) in variants {
+        let got = train(cfg, nt);
+        assert_eq!(got, baseline, "configuration {name} changed the result");
+    }
+}
+
+#[test]
+fn explicit_tier_ratio_is_equivalent_too() {
+    let baseline = train(EngineConfig::mlp_offload(), 2);
+    let cfg = EngineConfig::mlp_offload().with_tier_ratio(vec![3.0, 1.0]);
+    assert_eq!(train(cfg, 2), baseline);
+}
+
+#[test]
+fn two_workers_share_tiers_without_interference() {
+    // Two worker engines (one per "GPU") share the same backends and the
+    // same node-level tier locks, training disjoint shards concurrently
+    // from separate threads.
+    let shared = tiers(2);
+    let mk = |worker: usize| {
+        MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(4),
+            AdamConfig::default(),
+            &shared,
+            worker,
+            states(100 + worker as u64),
+        )
+        .unwrap()
+    };
+    let mut workers: Vec<MlpFuncEngine> = (0..2).map(mk).collect();
+
+    // References computed in memory.
+    let mut refs: Vec<Vec<SubgroupState>> = (0..2).map(|w| states(100 + w as u64)).collect();
+    let all_grads: Vec<Vec<Vec<Vec<u16>>>> = (0..2).map(|w| grad_set(w as u64, 4)).collect();
+    for (r, gs) in refs.iter_mut().zip(&all_grads) {
+        for grads in gs {
+            for (st, g) in r.iter_mut().zip(grads) {
+                st.apply_update_fp16(&AdamConfig::default(), g, 1.0);
+            }
+        }
+    }
+
+    let handles: Vec<std::thread::JoinHandle<Vec<Vec<f32>>>> = workers
+        .drain(..)
+        .zip(all_grads)
+        .map(|(mut engine, gs)| {
+            std::thread::spawn(move || {
+                for grads in gs {
+                    engine.accumulate_gradients(&grads);
+                    engine.update().unwrap();
+                }
+                engine.master_params().unwrap()
+            })
+        })
+        .collect();
+
+    for (h, r) in handles.into_iter().zip(&refs) {
+        let got = h.join().unwrap();
+        for (g, st) in got.iter().zip(r) {
+            assert_eq!(g, &st.params);
+        }
+    }
+}

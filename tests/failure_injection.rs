@@ -1,0 +1,158 @@
+//! Failure injection: storage errors must surface as `Err`, never as
+//! silent corruption, and the engines must stay usable on independent keys
+//! after a failed operation.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
+use mlp_offload_suite::mlp_offload::EngineConfig;
+use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
+use mlp_offload_suite::mlp_storage::{Backend, MemBackend};
+use mlp_offload_suite::mlp_zero3::Zero3FuncEngine;
+
+/// Backend wrapper that fails reads after a countdown.
+struct FlakyBackend {
+    inner: MemBackend,
+    reads_until_failure: AtomicUsize,
+}
+
+impl FlakyBackend {
+    fn new(reads_until_failure: usize) -> Self {
+        FlakyBackend {
+            inner: MemBackend::new("flaky"),
+            reads_until_failure: AtomicUsize::new(reads_until_failure),
+        }
+    }
+}
+
+impl Backend for FlakyBackend {
+    fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.write(key, data)
+    }
+
+    fn read(&self, key: &str) -> io::Result<Vec<u8>> {
+        let left = self.reads_until_failure.fetch_sub(1, Ordering::SeqCst);
+        if left == 0 || left > usize::MAX / 2 {
+            // Counter exhausted (saturating behaviour via wraparound guard).
+            self.reads_until_failure.store(0, Ordering::SeqCst);
+            return Err(io::Error::other("injected read failure"));
+        }
+        self.inner.read(key)
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn name(&self) -> &str {
+        "flaky"
+    }
+}
+
+fn states(n: usize, len: usize) -> Vec<SubgroupState> {
+    (0..n)
+        .map(|s| SubgroupState::new(vec![s as f32; len]))
+        .collect()
+}
+
+fn grads(n: usize, len: usize) -> Vec<Vec<u16>> {
+    vec![vec![mlp_offload_suite::mlp_tensor::F16::from_f32(0.5).to_bits(); len]; n]
+}
+
+#[test]
+fn mlp_engine_surfaces_storage_read_errors() {
+    // Allow the 6 initialization round trips... init only writes, so the
+    // first update's prefetch reads hit the failure.
+    let backend = Arc::new(FlakyBackend::new(2)) as Arc<dyn Backend>;
+    let tiers = vec![SharedTier::new(backend, 1.0)];
+    let mut engine = MlpFuncEngine::new(
+        EngineConfig::mlp_offload(),
+        AdamConfig::default(),
+        &tiers,
+        0,
+        states(6, 8),
+    )
+    .unwrap();
+    engine.accumulate_gradients(&grads(6, 8));
+    let err = match engine.update() {
+        Ok(_) => panic!("injected failure must propagate"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("injected"), "{err}");
+}
+
+#[test]
+fn zero3_engine_surfaces_storage_read_errors() {
+    let backend = Arc::new(FlakyBackend::new(1)) as Arc<dyn Backend>;
+    let mut engine = Zero3FuncEngine::new(backend, AdamConfig::default(), 0, states(4, 8)).unwrap();
+    engine.accumulate_gradients(&grads(4, 8));
+    engine.flush_gradients().unwrap();
+    assert!(engine.update().is_err());
+}
+
+#[test]
+fn missing_object_is_not_found_not_garbage() {
+    let backend = Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>;
+    let engine = mlp_offload_suite::mlp_aio::AioEngine::new(
+        backend,
+        mlp_offload_suite::mlp_aio::AioConfig::default(),
+    );
+    let err = engine.submit_read("never-written").wait().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::NotFound);
+}
+
+#[test]
+fn engine_survives_failures_on_other_keys() {
+    // A failure on one op must not poison the queue for later ops.
+    let backend = Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>;
+    let engine = mlp_offload_suite::mlp_aio::AioEngine::new(
+        backend,
+        mlp_offload_suite::mlp_aio::AioConfig::default(),
+    );
+    assert!(engine.submit_read("missing").wait().is_err());
+    engine.submit_write("ok", vec![1, 2, 3]).wait().unwrap();
+    assert_eq!(
+        engine.submit_read("ok").wait().unwrap().unwrap(),
+        vec![1, 2, 3]
+    );
+}
+
+#[test]
+fn engine_composes_with_checksummed_backend() {
+    use mlp_offload_suite::mlp_storage::ChecksummedBackend;
+    let inner = Arc::new(MemBackend::new("mem"));
+    let tiers = vec![SharedTier::new(
+        Arc::new(ChecksummedBackend::new(inner.clone())) as Arc<dyn Backend>,
+        1.0,
+    )];
+    let mut engine = MlpFuncEngine::new(
+        EngineConfig::mlp_offload(),
+        AdamConfig::default(),
+        &tiers,
+        0,
+        states(4, 8),
+    )
+    .unwrap();
+    engine.accumulate_gradients(&grads(4, 8));
+    engine.update().unwrap();
+
+    // Corrupt one stored subgroup behind the checksum layer; the next
+    // fetch of it must fail loudly instead of feeding garbage to Adam.
+    let key = "w0/sub0";
+    let mut raw = inner.read(key).unwrap();
+    raw[5] ^= 0x80;
+    inner.write(key, &raw).unwrap();
+
+    engine.accumulate_gradients(&grads(4, 8));
+    let err = match engine.update() {
+        Ok(_) => panic!("corruption must not pass silently"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("checksum"), "{err}");
+}
