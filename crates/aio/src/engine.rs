@@ -39,7 +39,22 @@ enum OpKind {
     /// pool-based allocation for asynchronous flushes (§3.5).
     WritePooled(PooledBuffer, usize),
     Read,
+    /// Read into the first `len` bytes of a pooled staging buffer via
+    /// [`Backend::read_into`] — the allocation-free fetch mirroring
+    /// `WritePooled`. The filled buffer is handed back through
+    /// [`OpHandle::wait_pooled`].
+    ReadPooled(PooledBuffer, usize),
     Delete,
+}
+
+/// What a completed operation produced.
+enum OpOutput {
+    /// Writes and deletes.
+    None,
+    /// Plain reads.
+    Bytes(Vec<u8>),
+    /// Pooled reads: the staging buffer, filled with `usize` bytes.
+    Pooled(PooledBuffer, usize),
 }
 
 struct Op {
@@ -49,26 +64,56 @@ struct Op {
 }
 
 struct OpState {
-    result: Mutex<Option<io::Result<Option<Vec<u8>>>>>,
+    result: Mutex<Option<io::Result<OpOutput>>>,
     done: Condvar,
     bytes: AtomicUsize,
 }
 
+impl OpState {
+    fn take_result(&self) -> io::Result<OpOutput> {
+        let mut guard = self.result.lock();
+        while guard.is_none() {
+            self.done.wait(&mut guard);
+        }
+        guard.take().expect("completion present")
+    }
+}
+
 /// Completion handle for a submitted operation.
 ///
-/// Reads resolve to `Ok(Some(bytes))`, writes and deletes to `Ok(None)`.
+/// Reads resolve to `Ok(Some(bytes))`, writes and deletes to `Ok(None)`;
+/// pooled reads resolve through [`OpHandle::wait_pooled`].
 pub struct OpHandle {
     state: Arc<OpState>,
 }
 
 impl OpHandle {
     /// Blocks until the operation completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation was a pooled read (use
+    /// [`OpHandle::wait_pooled`] so the staging buffer is not lost).
     pub fn wait(self) -> io::Result<Option<Vec<u8>>> {
-        let mut guard = self.state.result.lock();
-        while guard.is_none() {
-            self.state.done.wait(&mut guard);
+        match self.state.take_result()? {
+            OpOutput::None => Ok(None),
+            OpOutput::Bytes(b) => Ok(Some(b)),
+            OpOutput::Pooled(..) => panic!("pooled read completion requires wait_pooled"),
         }
-        guard.take().expect("completion present")
+    }
+
+    /// Blocks until a pooled read completes and returns the staging
+    /// buffer (its first `len` bytes hold the object).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation was not submitted via
+    /// [`AioEngine::submit_read_pooled`].
+    pub fn wait_pooled(self) -> io::Result<(PooledBuffer, usize)> {
+        match self.state.take_result()? {
+            OpOutput::Pooled(buf, len) => Ok((buf, len)),
+            _ => panic!("wait_pooled on a non-pooled operation"),
+        }
     }
 
     /// Whether the operation has completed (result not yet consumed).
@@ -129,7 +174,7 @@ impl AioEngine {
                                     stats
                                         .write_bytes
                                         .fetch_add(data.len() as u64, Ordering::Relaxed);
-                                    backend.write(&op.key, &data).map(|()| None)
+                                    backend.write(&op.key, &data).map(|()| OpOutput::None)
                                 }
                                 OpKind::WritePooled(buf, len) => {
                                     op.state.bytes.store(len, Ordering::Relaxed);
@@ -138,7 +183,7 @@ impl AioEngine {
                                     let result =
                                         backend.write(&op.key, &buf.buffer().as_bytes()[..len]);
                                     drop(buf); // staging buffer back to its pool
-                                    result.map(|()| None)
+                                    result.map(|()| OpOutput::None)
                                 }
                                 OpKind::Read => backend.read(&op.key).map(|data| {
                                     op.state.bytes.store(data.len(), Ordering::Relaxed);
@@ -146,9 +191,25 @@ impl AioEngine {
                                     stats
                                         .read_bytes
                                         .fetch_add(data.len() as u64, Ordering::Relaxed);
-                                    Some(data)
+                                    OpOutput::Bytes(data)
                                 }),
-                                OpKind::Delete => backend.delete(&op.key).map(|()| None),
+                                OpKind::ReadPooled(mut buf, len) => {
+                                    // On error the buffer drops here and
+                                    // recycles to its pool.
+                                    let window = &mut buf.buffer_mut().as_bytes_mut()[..len];
+                                    match backend.read_into(&op.key, window) {
+                                        Ok(n) => {
+                                            op.state.bytes.store(n, Ordering::Relaxed);
+                                            stats.reads.fetch_add(1, Ordering::Relaxed);
+                                            stats
+                                                .read_bytes
+                                                .fetch_add(n as u64, Ordering::Relaxed);
+                                            Ok(OpOutput::Pooled(buf, n))
+                                        }
+                                        Err(e) => Err(e),
+                                    }
+                                }
+                                OpKind::Delete => backend.delete(&op.key).map(|()| OpOutput::None),
                             };
                             stats
                                 .busy_nanos
@@ -209,6 +270,20 @@ impl AioEngine {
     /// Enqueues an asynchronous read (fetch) of `key`.
     pub fn submit_read(&self, key: &str) -> OpHandle {
         self.submit(key, OpKind::Read)
+    }
+
+    /// Enqueues an asynchronous read of `key` into the first `len` bytes
+    /// of a pooled staging buffer. Collect the filled buffer with
+    /// [`OpHandle::wait_pooled`]; on error the buffer returns to its pool.
+    /// Fetch → update → flush loops recycle one buffer pool end to end
+    /// this way, with zero per-operation allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the buffer's size.
+    pub fn submit_read_pooled(&self, key: &str, buf: PooledBuffer, len: usize) -> OpHandle {
+        assert!(len <= buf.buffer().len(), "len exceeds staging buffer");
+        self.submit(key, OpKind::ReadPooled(buf, len))
     }
 
     /// Enqueues an asynchronous delete of `key`.
@@ -344,6 +419,53 @@ mod tests {
             4,
             "only len bytes written"
         );
+    }
+
+    #[test]
+    fn pooled_reads_recycle_staging_buffers() {
+        use mlp_tensor::PinnedPool;
+        let backend = Arc::new(MemBackend::new("mem"));
+        let e = AioEngine::new(backend.clone() as Arc<dyn Backend>, AioConfig::default());
+        for i in 0..8 {
+            e.submit_write(&format!("k{i}"), vec![i as u8; 32])
+                .wait()
+                .unwrap();
+        }
+        let pool = PinnedPool::new(2, 64);
+        // Two buffers pipeline eight reads: harvest the oldest before
+        // acquiring for the next (a pooled read's buffer comes back
+        // through wait_pooled, so in-flight reads must stay below the
+        // pool capacity).
+        let mut pending: Vec<(usize, OpHandle)> = Vec::new();
+        let mut harvest = |pending: &mut Vec<(usize, OpHandle)>| {
+            let (i, h) = pending.remove(0);
+            let (buf, n) = h.wait_pooled().unwrap();
+            assert_eq!(n, 32);
+            assert_eq!(&buf.as_bytes()[..n], &vec![i as u8; 32][..]);
+        };
+        for i in 0..8 {
+            if pending.len() == 2 {
+                harvest(&mut pending);
+            }
+            let buf = pool.acquire();
+            pending.push((i, e.submit_read_pooled(&format!("k{i}"), buf, 32)));
+        }
+        while !pending.is_empty() {
+            harvest(&mut pending);
+        }
+        assert_eq!(pool.outstanding(), 0, "all buffers recycled");
+        assert_eq!(pool.high_water(), 2);
+        assert_eq!(pool.acquires(), 8);
+    }
+
+    #[test]
+    fn pooled_read_of_missing_key_recycles_buffer() {
+        use mlp_tensor::PinnedPool;
+        let e = engine(1);
+        let pool = PinnedPool::new(1, 16);
+        let h = e.submit_read_pooled("nope", pool.acquire(), 16);
+        assert!(h.wait_pooled().is_err());
+        assert_eq!(pool.outstanding(), 0, "buffer returned on error");
     }
 
     #[test]

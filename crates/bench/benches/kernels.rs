@@ -8,8 +8,11 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mlp_aio::engine::{AioConfig, AioEngine};
 use mlp_optim::adam::{adam_step_par, AdamConfig};
+use mlp_optim::fused::fused_update_fp16;
+use mlp_optim::optimizer::{AdagradConfig, LionConfig, OptimizerConfig, SgdConfig};
 use mlp_storage::{Backend, MemBackend};
 use mlp_tensor::convert;
+use mlp_tensor::F16;
 
 fn conversion(c: &mut Criterion) {
     let n = 1 << 22; // 4M elements = 8 MiB of FP16
@@ -51,6 +54,63 @@ fn adam(c: &mut Criterion) {
         })
     });
     g.finish();
+}
+
+/// Fused single-pass mixed-precision update vs. the legacy multi-pass
+/// pipeline (upscale sweep → optimizer sweep → downscale sweep), per
+/// optimizer, at 1M and 16M elements. The fused kernel touches each
+/// buffer once; the multi-pass path also materializes an FP32 gradient
+/// scratch vector per call — the allocation + bandwidth the zero-copy
+/// pipeline removes.
+fn update_pipeline(c: &mut Criterion) {
+    let optimizers: [(&str, OptimizerConfig); 4] = [
+        ("adam", OptimizerConfig::Adam(AdamConfig::default())),
+        ("sgd", OptimizerConfig::Sgd(SgdConfig::default())),
+        ("adagrad", OptimizerConfig::Adagrad(AdagradConfig::default())),
+        ("lion", OptimizerConfig::Lion(LionConfig::default())),
+    ];
+    for n in [1usize << 20, 1 << 24] {
+        let grads_fp16: Vec<u16> = (0..n)
+            .map(|i| F16::from_f32(((i % 1000) as f32 - 500.0) * 1e-4).to_bits())
+            .collect();
+        let inv_scale = 1.0 / 1024.0;
+        for (name, opt) in &optimizers {
+            let mut params = vec![0.1f32; n];
+            let mut slot1 = vec![0.0f32; n];
+            let mut slot2 = vec![0.0f32; n];
+            let mut fp16_out = vec![0u16; n];
+            let mut g =
+                c.benchmark_group(format!("update_{name}_{}m", n >> 20));
+            g.throughput(Throughput::Elements(n as u64));
+            g.sample_size(10);
+            let mut step = 0u64;
+            g.bench_function("fused", |b| {
+                b.iter(|| {
+                    step += 1;
+                    fused_update_fp16(
+                        opt,
+                        step,
+                        &mut params,
+                        &mut slot1,
+                        &mut slot2,
+                        &grads_fp16,
+                        inv_scale,
+                        &mut fp16_out,
+                    );
+                })
+            });
+            g.bench_function("multi_pass", |b| {
+                b.iter(|| {
+                    step += 1;
+                    let mut scratch = vec![0.0f32; n];
+                    convert::upscale_scaled_par(&grads_fp16, &mut scratch, inv_scale);
+                    opt.step_par(step, &mut params, &mut slot1, &mut slot2, &scratch);
+                    convert::downscale_par(&params, &mut fp16_out);
+                })
+            });
+            g.finish();
+        }
+    }
 }
 
 fn aio(c: &mut Criterion) {
@@ -104,5 +164,5 @@ fn des_executor(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, conversion, adam, aio, des_executor);
+criterion_group!(benches, conversion, adam, update_pipeline, aio, des_executor);
 criterion_main!(benches);

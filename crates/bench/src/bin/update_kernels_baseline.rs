@@ -1,0 +1,177 @@
+//! `update_kernels_baseline` — measures the fused single-pass update
+//! kernel against the legacy multi-pass pipeline (upscale sweep →
+//! optimizer sweep → downscale sweep) for every optimizer at 1M and 16M
+//! elements, and writes the machine-readable baseline consumed by CI and
+//! tracked in `BENCH_update_kernels.json`.
+//!
+//! ```text
+//! update_kernels_baseline [OUTPUT_PATH]   (default: BENCH_update_kernels.json)
+//! ```
+//!
+//! Reported per (optimizer, size, path): elements/second and effective
+//! GB/s of memory traffic. The byte counts per element differ by design —
+//! that asymmetry *is* the optimization. Fused touches each state array
+//! once (12 B read + 12 B write), the FP16 gradients once (2 B), and the
+//! FP16 output once (2 B): 28 B/element. Multi-pass adds a materialized
+//! FP32 gradient scratch vector (4 B write + 4 B read), re-reads the
+//! parameters for the downscale sweep (4 B), and re-writes FP16 (2 B on
+//! top of the same 26): 40 B/element plus a heap allocation per call.
+
+use std::time::Instant;
+
+use mlp_optim::adam::AdamConfig;
+use mlp_optim::fused::fused_update_fp16;
+use mlp_optim::optimizer::{AdagradConfig, LionConfig, OptimizerConfig, SgdConfig};
+use mlp_tensor::{convert, F16};
+
+/// Effective bytes of memory traffic per element, fused path.
+const FUSED_BYTES_PER_ELEM: f64 = 28.0;
+/// Effective bytes of memory traffic per element, multi-pass path.
+const MULTI_BYTES_PER_ELEM: f64 = 40.0;
+
+struct Measurement {
+    optimizer: &'static str,
+    elements: usize,
+    path: &'static str,
+    elements_per_s: f64,
+    gb_per_s: f64,
+    iters: u64,
+}
+
+fn measure(
+    name: &'static str,
+    opt: &OptimizerConfig,
+    n: usize,
+    fused: bool,
+) -> Measurement {
+    let grads_fp16: Vec<u16> = (0..n)
+        .map(|i| F16::from_f32(((i % 1000) as f32 - 500.0) * 1e-4).to_bits())
+        .collect();
+    let inv_scale = 1.0 / 1024.0;
+    let mut params = vec![0.1f32; n];
+    let mut slot1 = vec![0.0f32; n];
+    let mut slot2 = vec![0.0f32; n];
+    let mut fp16_out = vec![0u16; n];
+    let mut step = 0u64;
+
+    let mut run = |step: u64| {
+        if fused {
+            fused_update_fp16(
+                opt,
+                step,
+                &mut params,
+                &mut slot1,
+                &mut slot2,
+                &grads_fp16,
+                inv_scale,
+                &mut fp16_out,
+            );
+        } else {
+            let mut scratch = vec![0.0f32; n];
+            convert::upscale_scaled_par(&grads_fp16, &mut scratch, inv_scale);
+            opt.step_par(step, &mut params, &mut slot1, &mut slot2, &scratch);
+            convert::downscale_par(&params, &mut fp16_out);
+        }
+    };
+
+    // Warm-up (page-in + branch warm).
+    step += 1;
+    run(step);
+
+    // Measure for at least ~2 s and at least 10 iterations (long enough to
+    // ride out scheduler noise on small shared machines).
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        step += 1;
+        run(step);
+        iters += 1;
+        if iters >= 10 && start.elapsed().as_secs_f64() >= 2.0 {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let elements_per_s = (n as f64 * iters as f64) / secs;
+    let bytes = if fused {
+        FUSED_BYTES_PER_ELEM
+    } else {
+        MULTI_BYTES_PER_ELEM
+    };
+    Measurement {
+        optimizer: name,
+        elements: n,
+        path: if fused { "fused" } else { "multi_pass" },
+        elements_per_s,
+        gb_per_s: elements_per_s * bytes / 1e9,
+        iters,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_update_kernels.json".to_string());
+    let optimizers: [(&'static str, OptimizerConfig); 4] = [
+        ("adam", OptimizerConfig::Adam(AdamConfig::default())),
+        ("sgd", OptimizerConfig::Sgd(SgdConfig::default())),
+        ("adagrad", OptimizerConfig::Adagrad(AdagradConfig::default())),
+        ("lion", OptimizerConfig::Lion(LionConfig::default())),
+    ];
+
+    let mut results = Vec::new();
+    for n in [1usize << 20, 1 << 24] {
+        for (name, opt) in &optimizers {
+            for fused in [true, false] {
+                let m = measure(name, opt, n, fused);
+                eprintln!(
+                    "{:>8} {:>9} {:>10}: {:8.1} Melem/s  {:6.2} GB/s  ({} iters)",
+                    m.optimizer,
+                    m.elements,
+                    m.path,
+                    m.elements_per_s / 1e6,
+                    m.gb_per_s,
+                    m.iters
+                );
+                results.push(m);
+            }
+        }
+    }
+
+    // Headline ratio the baseline tracks: fused vs multi-pass speedup in
+    // elements/s at 16M, per optimizer.
+    let mut speedups = serde_json::Map::new();
+    for (name, _) in &optimizers {
+        let at = |path: &str| {
+            results
+                .iter()
+                .find(|m| m.optimizer == *name && m.elements == 1 << 24 && m.path == path)
+                .expect("measured")
+                .elements_per_s
+        };
+        let ratio = at("fused") / at("multi_pass");
+        eprintln!("{name}: fused/multi_pass speedup @16M = {ratio:.2}x");
+        speedups.insert(
+            name.to_string(),
+            serde_json::json!((ratio * 100.0).round() / 100.0),
+        );
+    }
+
+    let doc = serde_json::json!({
+        "benchmark": "update_kernels",
+        "description": "fused single-pass mixed-precision update vs multi-pass (upscale, step, downscale) — elements/s and effective GB/s per optimizer",
+        "bytes_per_element": { "fused": FUSED_BYTES_PER_ELEM, "multi_pass": MULTI_BYTES_PER_ELEM },
+        "threads": std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        "speedup_at_16m": speedups,
+        "results": results.iter().map(|m| serde_json::json!({
+            "optimizer": m.optimizer,
+            "elements": m.elements,
+            "path": m.path,
+            "elements_per_s": m.elements_per_s.round(),
+            "gb_per_s": (m.gb_per_s * 1000.0).round() / 1000.0,
+            "iters": m.iters,
+        })).collect::<Vec<_>>(),
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("serializable") + "\n")
+        .expect("write baseline");
+    println!("wrote {out_path}");
+}

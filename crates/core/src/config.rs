@@ -45,6 +45,19 @@ pub struct EngineConfig {
     /// Optional user-specified tier weights overriding measured bandwidths
     /// (the "2:1" split of §3.5). `None` uses measured bandwidths (Eq. 1).
     pub tier_ratio: Option<Vec<f64>>,
+    /// Run the update phase through the single-pass fused kernel over a
+    /// pooled zero-copy state buffer (unscale + moment update + step + FP16
+    /// emission in one sweep). When `false`, the engine uses the legacy
+    /// multi-pass path (upscale, step, downscale as separate sweeps over
+    /// owned allocations) — kept for A/B benchmarking. This is an
+    /// implementation-level optimization, not one of the paper's ablation
+    /// principles, so both presets enable it.
+    #[serde(default = "default_fused_update")]
+    pub fused_update: bool,
+}
+
+fn default_fused_update() -> bool {
+    true
 }
 
 impl EngineConfig {
@@ -61,6 +74,7 @@ impl EngineConfig {
             tier_exclusive_locking: false,
             adaptive_bandwidth: false,
             tier_ratio: None,
+            fused_update: true,
         }
     }
 
@@ -75,6 +89,7 @@ impl EngineConfig {
             tier_exclusive_locking: true,
             adaptive_bandwidth: true,
             tier_ratio: None,
+            fused_update: true,
         }
     }
 

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
 use mlp_aio::lock::ProcessExclusiveLock;
 use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
-use mlp_optim::SubgroupState;
+use mlp_optim::{SubgroupState, SubgroupStateMut};
 use mlp_storage::Backend;
+use mlp_tensor::pool::{PinnedPool, PooledBuffer};
 
 use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
 use crate::config::EngineConfig;
@@ -46,6 +47,34 @@ enum Placement {
     Tier(usize),
 }
 
+/// A host-resident subgroup. The fused pipeline keeps state in the pooled
+/// staging buffer it was fetched into (`[params | momentum | variance]`,
+/// mutated in place, flushed from the same buffer); the multi-pass path
+/// keeps the deserialized owned form.
+enum Resident {
+    Owned(SubgroupState),
+    Pooled { buf: PooledBuffer, n: usize },
+}
+
+impl Resident {
+    /// FP32 master parameters (a copy; cold verification/checkpoint path).
+    fn params_vec(&self) -> Vec<f32> {
+        match self {
+            Resident::Owned(st) => st.params.clone(),
+            // Parameters are the leading `n` f32 words of the layout.
+            Resident::Pooled { buf, n } => buf.as_f32(*n).to_vec(),
+        }
+    }
+
+    /// Serialized `[params | momentum | variance]` bytes (a copy).
+    fn state_bytes(&self) -> Vec<u8> {
+        match self {
+            Resident::Owned(st) => st.to_buffer().into_bytes(),
+            Resident::Pooled { buf, n } => buf.as_bytes()[..n * 12].to_vec(),
+        }
+    }
+}
+
 struct TierRt {
     engine: AioEngine,
     lock: ProcessExclusiveLock,
@@ -81,7 +110,12 @@ pub struct MlpFuncEngine {
     placement: Vec<Placement>,
     /// Host-resident subgroups in least-recently-updated order (front =
     /// next eviction victim).
-    resident: Vec<(usize, SubgroupState)>,
+    resident: Vec<(usize, Resident)>,
+    /// Fixed pool of subgroup-state staging buffers: the fused pipeline's
+    /// fetch targets, in-place update workspace, retention frames, and
+    /// flush sources are all the same recycled buffers — zero per-subgroup
+    /// heap allocation on the hot path.
+    state_pool: PinnedPool,
     /// FP16 gradient accumulation buffers (host), one per subgroup.
     accum: mlp_optim::accum::GradAccumulator,
     step: u64,
@@ -124,7 +158,18 @@ impl MlpFuncEngine {
         let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
         let plan = FramePlan::new(cfg.host_frames, cfg.pipeline_depth, cfg.cache_retention);
 
+        // One staging buffer holds any subgroup's full serialized state.
+        // Capacity covers the steady-state held set — retained residents
+        // plus the prefetch window — with headroom for the subgroup being
+        // updated and flushes still in flight on the I/O workers (which
+        // never acquire, so a blocked `acquire` always unblocks when a
+        // flush completes).
+        let buffer_bytes = subgroup_lens.iter().copied().max().unwrap_or(1).max(1) * 12;
+        let pool_capacity = plan.retain_frames + 2 * plan.pipeline_frames + 2;
+        let state_pool = PinnedPool::new(pool_capacity, buffer_bytes);
+
         let engine = MlpFuncEngine {
+            state_pool,
             accum: mlp_optim::accum::GradAccumulator::new(&subgroup_lens),
             plan,
             placement: assignment.iter().copied().map(Placement::Tier).collect(),
@@ -206,20 +251,24 @@ impl MlpFuncEngine {
         self.accum.end_micro_step();
     }
 
-    /// Runs one update phase: fetch → delayed-upscale → Adam → flush or
-    /// retain, in the configured subgroup order with lookahead
+    /// Runs one update phase: fetch → delayed-upscale → optimizer step →
+    /// flush or retain, in the configured subgroup order with lookahead
     /// prefetching. Returns the new FP16 parameters per subgroup id.
+    ///
+    /// With [`EngineConfig::fused_update`] (the default) each subgroup is
+    /// fetched into a pooled staging buffer, updated in place by the
+    /// single-pass fused kernel, and flushed from the same buffer; the
+    /// legacy multi-pass path (deserialize → upscale → step → downscale →
+    /// re-serialize over owned allocations) is kept for A/B benchmarking.
     pub fn update(&mut self) -> io::Result<UpdateOutcome> {
         let m = self.subgroup_lens.len();
         let order = self.cfg.order.order(self.iter, m);
-        let retain_capacity = self.plan.retain_frames;
         let weights: Vec<f64> = match &self.cfg.tier_ratio {
             Some(r) => r.clone(),
             None => self.tiers.iter().map(|t| t.weight).collect(),
         };
         // Eq. 1 proportions; actual flush count depends on cache hits.
         let flush_targets = allocate_counts(m.max(1), &weights);
-        let mut flush_done = vec![0usize; self.tiers.len()];
 
         self.step += 1;
         // Global gradient-norm clipping folds into the inverse loss scale
@@ -240,14 +289,196 @@ impl MlpFuncEngine {
             flushes: 0,
         };
 
-        // Lookahead prefetch: keep up to `pipeline_depth` reads in flight.
+        if self.cfg.fused_update {
+            self.run_update_fused(&order, &flush_targets, inv_scale, &mut outcome)?;
+        } else {
+            self.run_update_multipass(&order, &flush_targets, inv_scale, &mut outcome)?;
+        }
+        self.accum.reset();
+        self.iter += 1;
+        Ok(outcome)
+    }
+
+    /// Eq. 1 deficit-based flush tier choice.
+    fn pick_flush_tier(flush_targets: &[usize], flush_done: &[usize]) -> usize {
+        (0..flush_targets.len())
+            .filter(|&t| flush_targets[t] > 0)
+            .min_by(|&a, &b| {
+                let fa = flush_done[a] as f64 / flush_targets[a] as f64;
+                let fb = flush_done[b] as f64 / flush_targets[b] as f64;
+                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+            })
+            .unwrap_or(0)
+    }
+
+    /// The fused zero-copy update loop: pooled reads fetch serialized
+    /// state straight into recycled staging buffers, the fused kernel
+    /// (unscale + moment update + step + FP16 emission, one sweep) mutates
+    /// them in place, and retention/flush reuse the very same buffer. The
+    /// hot loop performs no per-subgroup heap allocation for state.
+    fn run_update_fused(
+        &mut self,
+        order: &[usize],
+        flush_targets: &[usize],
+        inv_scale: f32,
+        outcome: &mut UpdateOutcome,
+    ) -> io::Result<()> {
+        let m = order.len();
+        let retain_capacity = self.plan.retain_frames;
         let depth = self.plan.pipeline_frames;
+        let mut flush_done = vec![0usize; self.tiers.len()];
+        // Lookahead prefetch: keep up to `pipeline_depth` reads in flight.
         let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
         let mut next_to_submit = 0usize;
         // In-flight flushes keyed by subgroup: a read of the same subgroup
         // later in this iteration (possible when an eviction precedes its
         // visit) must fence on the flush, or it could overtake it on
         // another I/O worker and fetch stale state.
+        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
+
+        for _ in 0..m {
+            while next_to_submit < m && pending.len() < depth {
+                let idx = order[next_to_submit];
+                next_to_submit += 1;
+                if self.resident.iter().any(|(i, _)| *i == idx) {
+                    pending.push_back((idx, None));
+                } else {
+                    let Placement::Tier(t) = self.placement[idx] else {
+                        unreachable!("non-resident subgroup must be on a tier")
+                    };
+                    if let Some(h) = inflight_flush.remove(&idx) {
+                        h.wait()?; // write-after-evict fence
+                    }
+                    let n = self.subgroup_lens[idx];
+                    let buf = self.state_pool.acquire();
+                    let handle = {
+                        let _g = if self.cfg.tier_exclusive_locking {
+                            Some(self.tiers[t].lock.acquire(self.worker_id))
+                        } else {
+                            None
+                        };
+                        self.tiers[t]
+                            .engine
+                            .submit_read_pooled(&self.key(idx), buf, n * 12)
+                    };
+                    pending.push_back((idx, Some(handle)));
+                }
+            }
+
+            let (idx, handle) = pending.pop_front().expect("window non-empty");
+            let n = self.subgroup_lens[idx];
+            let mut res = match handle {
+                None => {
+                    outcome.cache_hits += 1;
+                    let pos = self
+                        .resident
+                        .iter()
+                        .position(|(i, _)| *i == idx)
+                        .expect("resident state present");
+                    self.resident.remove(pos).1
+                }
+                Some(h) => {
+                    outcome.fetches += 1;
+                    let (buf, got) = h.wait_pooled()?;
+                    assert_eq!(got, n * 12, "short state read for subgroup {idx}");
+                    Resident::Pooled { buf, n }
+                }
+            };
+
+            // Single fused pass over the staging buffer: FP16 unscale +
+            // moment update + parameter step + FP16 emission.
+            let mut fp16 = vec![0u16; n];
+            match &mut res {
+                Resident::Pooled { buf, n } => {
+                    let mut view = SubgroupStateMut::from_buffer(buf.buffer_mut(), *n);
+                    view.apply_update_fused(
+                        &self.optimizer,
+                        self.step,
+                        self.accum.grads(idx),
+                        inv_scale,
+                        &mut fp16,
+                    );
+                }
+                Resident::Owned(st) => {
+                    let mut view = SubgroupStateMut {
+                        params: &mut st.params,
+                        momentum: &mut st.momentum,
+                        variance: &mut st.variance,
+                    };
+                    view.apply_update_fused(
+                        &self.optimizer,
+                        self.step,
+                        self.accum.grads(idx),
+                        inv_scale,
+                        &mut fp16,
+                    );
+                    st.step = self.step;
+                }
+            }
+            outcome.fp16_params[idx] = fp16;
+
+            // LRU retention; evict the least-recently-updated subgroup
+            // when over budget. The evicted buffer is flushed as-is.
+            let mut to_flush: Option<(usize, Resident)> = None;
+            if retain_capacity > 0 {
+                self.placement[idx] = Placement::Host;
+                self.resident.push((idx, res));
+                if self.resident.len() > retain_capacity {
+                    to_flush = Some(self.resident.remove(0));
+                }
+            } else {
+                to_flush = Some((idx, res));
+            }
+            if let Some((fidx, fres)) = to_flush {
+                let tier = Self::pick_flush_tier(flush_targets, &flush_done);
+                flush_done[tier] += 1;
+                self.placement[fidx] = Placement::Tier(tier);
+                let handle = {
+                    let _g = if self.cfg.tier_exclusive_locking {
+                        Some(self.tiers[tier].lock.acquire(self.worker_id))
+                    } else {
+                        None
+                    };
+                    match fres {
+                        // Flush straight from the staging buffer; it
+                        // returns to the pool when the write completes.
+                        Resident::Pooled { buf, n } => self.tiers[tier]
+                            .engine
+                            .submit_write_pooled(&self.key(fidx), buf, n * 12),
+                        Resident::Owned(st) => self.tiers[tier]
+                            .engine
+                            .submit_write(&self.key(fidx), st.to_buffer().into_bytes()),
+                    }
+                };
+                inflight_flush.insert(fidx, handle);
+                outcome.flushes += 1;
+            }
+        }
+
+        for (_, h) in inflight_flush {
+            h.wait()?;
+        }
+        Ok(())
+    }
+
+    /// The legacy multi-pass update loop: every fetch deserializes into an
+    /// owned [`SubgroupState`], gradients are upscaled into a scratch
+    /// FP32 vector, the optimizer sweeps params/moments, parameters are
+    /// downscaled in another sweep, and flushes re-serialize. Kept behind
+    /// `fused_update: false` for A/B benchmarking.
+    fn run_update_multipass(
+        &mut self,
+        order: &[usize],
+        flush_targets: &[usize],
+        inv_scale: f32,
+        outcome: &mut UpdateOutcome,
+    ) -> io::Result<()> {
+        let m = order.len();
+        let retain_capacity = self.plan.retain_frames;
+        let depth = self.plan.pipeline_frames;
+        let mut flush_done = vec![0usize; self.tiers.len()];
+        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
+        let mut next_to_submit = 0usize;
         let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
 
         for _ in 0..m {
@@ -288,7 +519,12 @@ impl MlpFuncEngine {
                         .iter()
                         .position(|(i, _)| *i == idx)
                         .expect("resident state present");
-                    self.resident.remove(pos).1
+                    match self.resident.remove(pos).1 {
+                        Resident::Owned(st) => st,
+                        Resident::Pooled { buf, n } => {
+                            SubgroupState::from_bytes(&buf.as_bytes()[..n * 12], self.step - 1)
+                        }
+                    }
                 }
                 Some(h) => {
                     outcome.fetches += 1;
@@ -307,22 +543,22 @@ impl MlpFuncEngine {
             let mut to_flush: Option<(usize, SubgroupState)> = None;
             if retain_capacity > 0 {
                 self.placement[idx] = Placement::Host;
-                self.resident.push((idx, state));
+                self.resident.push((idx, Resident::Owned(state)));
                 if self.resident.len() > retain_capacity {
-                    to_flush = Some(self.resident.remove(0));
+                    let (fidx, fres) = self.resident.remove(0);
+                    let fstate = match fres {
+                        Resident::Owned(st) => st,
+                        Resident::Pooled { buf, n } => {
+                            SubgroupState::from_bytes(&buf.as_bytes()[..n * 12], self.step)
+                        }
+                    };
+                    to_flush = Some((fidx, fstate));
                 }
             } else {
                 to_flush = Some((idx, state));
             }
             if let Some((fidx, fstate)) = to_flush {
-                let tier = (0..self.tiers.len())
-                    .filter(|&t| flush_targets[t] > 0)
-                    .min_by(|&a, &b| {
-                        let fa = flush_done[a] as f64 / flush_targets[a] as f64;
-                        let fb = flush_done[b] as f64 / flush_targets[b] as f64;
-                        fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
-                    })
-                    .unwrap_or(0);
+                let tier = Self::pick_flush_tier(flush_targets, &flush_done);
                 flush_done[tier] += 1;
                 self.placement[fidx] = Placement::Tier(tier);
                 let handle = {
@@ -343,9 +579,20 @@ impl MlpFuncEngine {
         for (_, h) in inflight_flush {
             h.wait()?;
         }
-        self.accum.reset();
-        self.iter += 1;
-        Ok(outcome)
+        Ok(())
+    }
+
+    /// Staging-buffer pool statistics for the fused pipeline:
+    /// `(lifetime acquisitions, high-water mark, capacity)`. A long
+    /// training run shows acquisitions far exceeding the (constant)
+    /// high-water mark — the proof that state buffers are recycled rather
+    /// than reallocated per subgroup.
+    pub fn state_pool_stats(&self) -> (u64, usize, usize) {
+        (
+            self.state_pool.acquires(),
+            self.state_pool.high_water(),
+            self.state_pool.capacity(),
+        )
     }
 
     /// Gathers the FP32 master parameters of every subgroup (reads through
@@ -360,8 +607,7 @@ impl MlpFuncEngine {
                         .find(|(i, _)| *i == idx)
                         .expect("resident state present")
                         .1
-                        .params
-                        .clone(),
+                        .params_vec(),
                 ),
                 Placement::Tier(t) => {
                     let bytes = self.tiers[t]
@@ -394,13 +640,13 @@ impl MlpFuncEngine {
             let key = CheckpointManifest::subgroup_key(tag, self.worker_id, idx);
             match self.placement[idx] {
                 Placement::Host => {
-                    let state = &self
+                    let bytes = self
                         .resident
                         .iter()
                         .find(|(i, _)| *i == idx)
                         .expect("resident state present")
-                        .1;
-                    let bytes = state.to_buffer().into_bytes();
+                        .1
+                        .state_bytes();
                     stats.copied_bytes += bytes.len() as u64;
                     target.write(&key, &bytes)?;
                     subgroups.push(SubgroupLocation::Target { key });
@@ -693,6 +939,99 @@ mod tests {
         b.update().unwrap();
 
         assert_eq!(a.master_params().unwrap(), b.master_params().unwrap());
+    }
+
+    #[test]
+    fn fused_path_is_bit_identical_to_multi_pass_path() {
+        let adam = AdamConfig::default();
+        let mut multi_cfg = EngineConfig::mlp_offload().with_host_frames(5);
+        multi_cfg.fused_update = false;
+        assert!(EngineConfig::mlp_offload().fused_update, "fused is default");
+        let mut fused =
+            MlpFuncEngine::new(EngineConfig::mlp_offload().with_host_frames(5), adam, &tiers(2), 0, init_states(6, 40))
+                .unwrap();
+        let mut multi = MlpFuncEngine::new(multi_cfg, adam, &tiers(2), 0, init_states(6, 40)).unwrap();
+
+        for it in 0..4 {
+            let grads = grads_for(6, 40, it as f32);
+            fused.set_inv_loss_scale(0.25);
+            multi.set_inv_loss_scale(0.25);
+            fused.accumulate_gradients(&grads);
+            multi.accumulate_gradients(&grads);
+            let of = fused.update().unwrap();
+            let om = multi.update().unwrap();
+            assert_eq!(of.fp16_params, om.fp16_params, "iteration {it}");
+            assert_eq!(of.cache_hits, om.cache_hits);
+            assert_eq!(of.flushes, om.flushes);
+        }
+        assert_eq!(
+            fused.master_params().unwrap(),
+            multi.master_params().unwrap()
+        );
+    }
+
+    #[test]
+    fn fused_hot_loop_recycles_state_buffers_without_allocating() {
+        let adam = AdamConfig::default();
+        let subgroups = 12;
+        let iters = 5u64;
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(5),
+            adam,
+            &tiers(2),
+            0,
+            init_states(subgroups, 16),
+        )
+        .unwrap();
+        let mut fetched = 0u64;
+        for it in 0..iters {
+            engine.accumulate_gradients(&grads_for(subgroups, 16, it as f32));
+            fetched += engine.update().unwrap().fetches as u64;
+        }
+        let (acquires, high_water, capacity) = engine.state_pool_stats();
+        // Every fetch acquired a staging buffer from the pool...
+        assert_eq!(acquires, fetched, "one pooled acquire per fetch");
+        assert!(acquires > capacity as u64, "enough traffic to prove reuse");
+        // ...while the working set never exceeded the fixed pool: the hot
+        // fetch → fused-update → flush loop allocated zero state buffers.
+        assert!(
+            high_water <= capacity,
+            "high water {high_water} within pool capacity {capacity}"
+        );
+        // Steady state: only the retained residents still hold buffers.
+        assert_eq!(engine.state_pool.outstanding(), engine.resident.len());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_pooled_residents() {
+        let adam = AdamConfig::default();
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(6),
+            adam,
+            &tiers(2),
+            0,
+            init_states(5, 24),
+        )
+        .unwrap();
+        for it in 0..3 {
+            engine.accumulate_gradients(&grads_for(5, 24, it as f32));
+            engine.update().unwrap();
+        }
+        let target = MemBackend::new("ckpt");
+        engine.checkpoint(&target, "t0", true).unwrap();
+        let restored = MlpFuncEngine::restore(
+            EngineConfig::mlp_offload().with_host_frames(6),
+            adam,
+            &tiers(2),
+            0,
+            &target,
+            "t0",
+        )
+        .unwrap();
+        assert_eq!(
+            restored.master_params().unwrap(),
+            engine.master_params().unwrap()
+        );
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Adam/AdamW update kernels over FP32 master state.
 
+use mlp_tensor::PAR_CHUNK;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-
-/// Minimum elements per rayon work item for the parallel kernel.
-const PAR_CHUNK: usize = 64 * 1024;
 
 /// Adam hyper-parameters (defaults match the common LLM pre-training
 /// recipe: lr 1e-4, β₁ 0.9, β₂ 0.95, ε 1e-8, no decoupled weight decay).
@@ -34,6 +32,44 @@ impl Default for AdamConfig {
     }
 }
 
+/// Bias-correction terms `1 - βᵏ` for step `k`, hoisted out of the
+/// per-element kernel (computed once per slice pass).
+#[inline]
+pub(crate) fn adam_bias(cfg: &AdamConfig, step: u64) -> (f32, f32) {
+    (
+        1.0 - cfg.beta1.powi(step as i32),
+        1.0 - cfg.beta2.powi(step as i32),
+    )
+}
+
+/// One parameter's Adam update. Shared by the multi-pass kernel below and
+/// the fused single-pass kernel in [`crate::fused`], so the two paths are
+/// bitwise identical by construction.
+#[inline(always)]
+pub(crate) fn adam_elem(
+    cfg: &AdamConfig,
+    bias1: f32,
+    bias2: f32,
+    p: &mut f32,
+    momentum: &mut f32,
+    variance: &mut f32,
+    g: f32,
+) {
+    let m = cfg.beta1 * *momentum + (1.0 - cfg.beta1) * g;
+    let v = cfg.beta2 * *variance + (1.0 - cfg.beta2) * g * g;
+    *momentum = m;
+    *variance = v;
+    let m_hat = m / bias1;
+    let v_hat = v / bias2;
+    let old = *p;
+    let mut new = old;
+    new -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+    if cfg.weight_decay != 0.0 {
+        new -= cfg.lr * cfg.weight_decay * old;
+    }
+    *p = new;
+}
+
 /// One Adam step over a parameter slice. `step` is 1-based (used for bias
 /// correction). All slices must be the same length.
 ///
@@ -61,23 +97,17 @@ pub fn adam_step(
         "params/variance length mismatch"
     );
 
-    let bias1 = 1.0 - cfg.beta1.powi(step as i32);
-    let bias2 = 1.0 - cfg.beta2.powi(step as i32);
-
+    let (bias1, bias2) = adam_bias(cfg, step);
     for i in 0..params.len() {
-        let g = grads[i];
-        let m = cfg.beta1 * momentum[i] + (1.0 - cfg.beta1) * g;
-        let v = cfg.beta2 * variance[i] + (1.0 - cfg.beta2) * g * g;
-        momentum[i] = m;
-        variance[i] = v;
-        let m_hat = m / bias1;
-        let v_hat = v / bias2;
-        let mut p = params[i];
-        p -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
-        if cfg.weight_decay != 0.0 {
-            p -= cfg.lr * cfg.weight_decay * params[i];
-        }
-        params[i] = p;
+        adam_elem(
+            cfg,
+            bias1,
+            bias2,
+            &mut params[i],
+            &mut momentum[i],
+            &mut variance[i],
+            grads[i],
+        );
     }
 }
 

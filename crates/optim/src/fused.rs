@@ -1,0 +1,416 @@
+//! Fused single-pass mixed-precision update kernels.
+//!
+//! The paper's delayed-conversion argument (§3.2) only holds if the host
+//! side of the update phase keeps up with the storage tiers: FP16→FP32
+//! conversion and the optimizer step must together sustain tens of GB/s.
+//! The multi-pass composition (`upscale_scaled` → `step_par` →
+//! `downscale_par`) sweeps the subgroup state 4–6 times through DRAM and
+//! materializes an FP32 gradient buffer per subgroup. The kernels here do
+//! what ZeRO-Offload's fused CPU-Adam does — unscale, moment update,
+//! parameter step, and FP16 parameter emission in a single rayon-chunked
+//! pass — via *strip-mined fusion*: each chunk is processed in small
+//! L1-resident tiles, and within a tile the three sweeps run back to back
+//! over a stack scratch buffer. Each inner sweep keeps the exact loop
+//! shape of its multi-pass counterpart (so it vectorizes identically; a
+//! single interleaved per-element loop defeats the autovectorizer on the
+//! branchy FP16 conversions), while the subgroup-sized arrays are still
+//! loaded and stored exactly once and no FP32 gradient buffer is ever
+//! allocated — the scratch is [`TILE`] elements on the stack.
+//!
+//! Bit-exactness: a tile *is* the multi-pass composition
+//! ([`mlp_tensor::convert::upscale_scaled`] → [`OptimizerConfig::step`] →
+//! [`mlp_tensor::convert::downscale`]) applied to a sub-range, and every
+//! element's update is independent of the others, so the fused results are
+//! bitwise identical (property-tested below) and engines can switch
+//! between the paths per config flag without changing trajectories.
+
+use mlp_tensor::{convert, PAR_CHUNK};
+use rayon::prelude::*;
+
+use crate::optimizer::OptimizerConfig;
+
+/// Elements per L1-resident tile (2 KiB of f32 scratch on the stack).
+const TILE: usize = 512;
+
+/// Fused kernel over one rayon chunk: FP16-bits gradients, strip-mined
+/// into [`TILE`]-element sub-ranges.
+fn fused_chunk_fp16(
+    opt: &OptimizerConfig,
+    step: u64,
+    params: &mut [f32],
+    slot1: &mut [f32],
+    slot2: &mut [f32],
+    grads_fp16: &[u16],
+    inv_scale: f32,
+    fp16_out: &mut [u16],
+) {
+    let mut scratch = [0.0f32; TILE];
+    let mut lo = 0;
+    while lo < params.len() {
+        let hi = (lo + TILE).min(params.len());
+        let g = &mut scratch[..hi - lo];
+        convert::upscale_scaled(&grads_fp16[lo..hi], g, inv_scale);
+        opt.step(
+            step,
+            &mut params[lo..hi],
+            &mut slot1[lo..hi],
+            &mut slot2[lo..hi],
+            g,
+        );
+        convert::downscale(&params[lo..hi], &mut fp16_out[lo..hi]);
+        lo = hi;
+    }
+}
+
+/// Fused kernel over one rayon chunk: FP32 gradients (the ZeRO-3
+/// baseline's eager-conversion data path), strip-mined like
+/// [`fused_chunk_fp16`].
+fn fused_chunk_f32(
+    opt: &OptimizerConfig,
+    step: u64,
+    params: &mut [f32],
+    slot1: &mut [f32],
+    slot2: &mut [f32],
+    grads: &[f32],
+    inv_scale: f32,
+    fp16_out: &mut [u16],
+) {
+    let mut scratch = [0.0f32; TILE];
+    let mut lo = 0;
+    while lo < params.len() {
+        let hi = (lo + TILE).min(params.len());
+        let g = &mut scratch[..hi - lo];
+        for (d, &s) in g.iter_mut().zip(&grads[lo..hi]) {
+            *d = s * inv_scale;
+        }
+        opt.step(
+            step,
+            &mut params[lo..hi],
+            &mut slot1[lo..hi],
+            &mut slot2[lo..hi],
+            g,
+        );
+        convert::downscale(&params[lo..hi], &mut fp16_out[lo..hi]);
+        lo = hi;
+    }
+}
+
+fn check_lens(params: usize, slot1: usize, slot2: usize, grads: usize, out: usize) {
+    assert_eq!(params, grads, "params/grads length mismatch");
+    assert_eq!(params, slot1, "params/slot1 length mismatch");
+    assert_eq!(params, slot2, "params/slot2 length mismatch");
+    assert_eq!(params, out, "params/fp16_out length mismatch");
+}
+
+/// Fused, rayon-chunked update from FP16 gradient bits: unscale + moment
+/// update + parameter step + FP16 parameter emission in one pass over the
+/// state. `step` is 1-based. Bitwise identical to
+/// `upscale_scaled` → [`OptimizerConfig::step_par`] → `downscale`
+/// for every optimizer in the zoo.
+///
+/// # Panics
+///
+/// Panics on any length mismatch or `step == 0`.
+pub fn fused_update_fp16(
+    opt: &OptimizerConfig,
+    step: u64,
+    params: &mut [f32],
+    slot1: &mut [f32],
+    slot2: &mut [f32],
+    grads_fp16: &[u16],
+    inv_scale: f32,
+    fp16_out: &mut [u16],
+) {
+    assert!(step >= 1, "optimizer step is 1-based");
+    check_lens(
+        params.len(),
+        slot1.len(),
+        slot2.len(),
+        grads_fp16.len(),
+        fp16_out.len(),
+    );
+    if params.len() < PAR_CHUNK {
+        return fused_chunk_fp16(
+            opt, step, params, slot1, slot2, grads_fp16, inv_scale, fp16_out,
+        );
+    }
+    params
+        .par_chunks_mut(PAR_CHUNK)
+        .zip(slot1.par_chunks_mut(PAR_CHUNK))
+        .zip(slot2.par_chunks_mut(PAR_CHUNK))
+        .zip(grads_fp16.par_chunks(PAR_CHUNK))
+        .zip(fp16_out.par_chunks_mut(PAR_CHUNK))
+        .for_each(|((((p, s1), s2), g), out)| {
+            fused_chunk_fp16(opt, step, p, s1, s2, g, inv_scale, out)
+        });
+}
+
+/// [`fused_update_fp16`] for FP32 gradients (used by the functional
+/// ZeRO-3 baseline, whose gradients arrive eagerly upscaled from
+/// storage). Bitwise identical to scale → step → downscale.
+///
+/// # Panics
+///
+/// Panics on any length mismatch or `step == 0`.
+pub fn fused_update_f32(
+    opt: &OptimizerConfig,
+    step: u64,
+    params: &mut [f32],
+    slot1: &mut [f32],
+    slot2: &mut [f32],
+    grads: &[f32],
+    inv_scale: f32,
+    fp16_out: &mut [u16],
+) {
+    assert!(step >= 1, "optimizer step is 1-based");
+    check_lens(
+        params.len(),
+        slot1.len(),
+        slot2.len(),
+        grads.len(),
+        fp16_out.len(),
+    );
+    if params.len() < PAR_CHUNK {
+        return fused_chunk_f32(opt, step, params, slot1, slot2, grads, inv_scale, fp16_out);
+    }
+    params
+        .par_chunks_mut(PAR_CHUNK)
+        .zip(slot1.par_chunks_mut(PAR_CHUNK))
+        .zip(slot2.par_chunks_mut(PAR_CHUNK))
+        .zip(grads.par_chunks(PAR_CHUNK))
+        .zip(fp16_out.par_chunks_mut(PAR_CHUNK))
+        .for_each(|((((p, s1), s2), g), out)| {
+            fused_chunk_f32(opt, step, p, s1, s2, g, inv_scale, out)
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::AdamConfig;
+    use crate::optimizer::{AdagradConfig, LionConfig, SgdConfig};
+    use mlp_tensor::convert;
+    use proptest::prelude::*;
+
+    /// The multi-pass composition the fused kernel replaces: materialize
+    /// an FP32 gradient buffer (upscale × inverse loss scale), run the
+    /// optimizer pass, then downscale the parameters in a separate pass.
+    fn multi_pass_fp16(
+        opt: &OptimizerConfig,
+        step: u64,
+        params: &mut [f32],
+        slot1: &mut [f32],
+        slot2: &mut [f32],
+        grads_fp16: &[u16],
+        inv_scale: f32,
+    ) -> Vec<u16> {
+        let mut grads = vec![0.0f32; grads_fp16.len()];
+        convert::upscale_scaled_par(grads_fp16, &mut grads, inv_scale);
+        opt.step_par(step, params, slot1, slot2, &grads);
+        let mut out = vec![0u16; params.len()];
+        convert::downscale_par(params, &mut out);
+        out
+    }
+
+    fn optimizer_zoo() -> Vec<OptimizerConfig> {
+        vec![
+            OptimizerConfig::Adam(AdamConfig::default()),
+            OptimizerConfig::Adam(AdamConfig {
+                weight_decay: 0.01,
+                ..AdamConfig::default()
+            }),
+            OptimizerConfig::Sgd(SgdConfig::default()),
+            OptimizerConfig::Sgd(SgdConfig {
+                weight_decay: 0.05,
+                ..SgdConfig::default()
+            }),
+            OptimizerConfig::Adagrad(AdagradConfig::default()),
+            OptimizerConfig::Lion(LionConfig::default()),
+            OptimizerConfig::Lion(LionConfig {
+                weight_decay: 0.1,
+                ..LionConfig::default()
+            }),
+        ]
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_equals_multi_pass_across_the_zoo() {
+        let n = 1000;
+        let grads: Vec<u16> = (0..n as u32).map(|i| (i * 131) as u16 % 0x7C00).collect();
+        for opt in optimizer_zoo() {
+            for inv_scale in [1.0f32, 0.125, 3.7] {
+                let mut a = (
+                    (0..n).map(|i| (i as f32).sin()).collect::<Vec<f32>>(),
+                    vec![0.01f32; n],
+                    vec![0.02f32; n],
+                );
+                let mut b = a.clone();
+                for step in 1..=3u64 {
+                    let expect_h = multi_pass_fp16(
+                        &opt, step, &mut a.0, &mut a.1, &mut a.2, &grads, inv_scale,
+                    );
+                    let mut got_h = vec![0u16; n];
+                    fused_update_fp16(
+                        &opt, step, &mut b.0, &mut b.1, &mut b.2, &grads, inv_scale, &mut got_h,
+                    );
+                    assert_bits_eq(&a.0, &b.0, opt.name());
+                    assert_bits_eq(&a.1, &b.1, opt.name());
+                    assert_bits_eq(&a.2, &b.2, opt.name());
+                    assert_eq!(expect_h, got_h, "{} fp16 emission", opt.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_parallel_path_matches_scalar_above_chunk_threshold() {
+        let n = PAR_CHUNK + 1717; // forces the rayon path with a ragged tail
+        let grads: Vec<u16> = (0..n as u32).map(|i| (i * 197) as u16 % 0x7C00).collect();
+        for opt in optimizer_zoo() {
+            let mut a = (vec![0.5f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+            let mut b = a.clone();
+            let mut ha = vec![0u16; n];
+            let mut hb = vec![0u16; n];
+            // Scalar reference via the chunk kernel directly.
+            fused_chunk_fp16(
+                &opt, 1, &mut a.0, &mut a.1, &mut a.2, &grads, 0.5, &mut ha,
+            );
+            fused_update_fp16(&opt, 1, &mut b.0, &mut b.1, &mut b.2, &grads, 0.5, &mut hb);
+            assert_bits_eq(&a.0, &b.0, opt.name());
+            assert_eq!(ha, hb, "{}", opt.name());
+        }
+    }
+
+    #[test]
+    fn fused_f32_equals_scale_then_step_then_downscale() {
+        let n = 777;
+        let grads: Vec<f32> = (0..n).map(|i| ((i % 83) as f32 - 41.0) * 1e-3).collect();
+        for opt in optimizer_zoo() {
+            for inv_scale in [1.0f32, 0.25] {
+                let mut a = (vec![0.3f32; n], vec![0.1f32; n], vec![0.2f32; n]);
+                let mut b = a.clone();
+
+                let mut scaled = grads.clone();
+                for g in &mut scaled {
+                    *g *= inv_scale;
+                }
+                opt.step_par(1, &mut a.0, &mut a.1, &mut a.2, &scaled);
+                let mut expect_h = vec![0u16; n];
+                convert::downscale(&a.0, &mut expect_h);
+
+                let mut got_h = vec![0u16; n];
+                fused_update_f32(
+                    &opt, 1, &mut b.0, &mut b.1, &mut b.2, &grads, inv_scale, &mut got_h,
+                );
+                assert_bits_eq(&a.0, &b.0, opt.name());
+                assert_eq!(expect_h, got_h, "{}", opt.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_out_panics() {
+        let opt = OptimizerConfig::default();
+        fused_update_fp16(
+            &opt,
+            1,
+            &mut [0.0; 4],
+            &mut [0.0; 4],
+            &mut [0.0; 4],
+            &[0; 4],
+            1.0,
+            &mut [0; 3],
+        );
+    }
+
+    /// FP16 bit patterns biased toward the hard cases: subnormals, zero,
+    /// and ordinary finite values (both signs). Infinities/NaNs excluded —
+    /// the loss scaler skips those steps before any kernel runs.
+    fn grad_bits() -> impl Strategy<Value = u16> {
+        prop_oneof![
+            // subnormal magnitude (exponent 0, nonzero mantissa) ± sign
+            (1u16..0x0400).prop_flat_map(|m| prop_oneof![Just(m), Just(m | 0x8000)]),
+            // any finite value
+            (0u16..0x7C00).prop_flat_map(|m| prop_oneof![Just(m), Just(m | 0x8000)]),
+            Just(0u16),
+            Just(0x8000u16), // -0.0
+        ]
+    }
+
+    fn optimizer_strategy() -> impl Strategy<Value = OptimizerConfig> {
+        let wd = prop_oneof![Just(0.0f32), 0.001f32..0.2];
+        let wd2 = prop_oneof![Just(0.0f32), 0.001f32..0.2];
+        let wd3 = prop_oneof![Just(0.0f32), 0.001f32..0.2];
+        prop_oneof![
+            wd.prop_map(|weight_decay| {
+                OptimizerConfig::Adam(AdamConfig {
+                    weight_decay,
+                    ..AdamConfig::default()
+                })
+            }),
+            wd2.prop_map(|weight_decay| {
+                OptimizerConfig::Sgd(SgdConfig {
+                    weight_decay,
+                    ..SgdConfig::default()
+                })
+            }),
+            Just(OptimizerConfig::Adagrad(AdagradConfig::default())),
+            wd3.prop_map(|weight_decay| {
+                OptimizerConfig::Lion(LionConfig {
+                    weight_decay,
+                    ..LionConfig::default()
+                })
+            }),
+        ]
+    }
+
+    proptest! {
+        /// The acceptance property: for every optimizer, any finite FP16
+        /// gradients (subnormals included), any inverse loss scale, and
+        /// weight-decay-enabled configs, the fused kernel is bit-identical
+        /// to the existing upscale → step → downscale composition.
+        #[test]
+        fn fused_is_bit_identical_to_multi_pass(
+            opt in optimizer_strategy(),
+            grads in proptest::collection::vec(grad_bits(), 1..300),
+            inv_scale in prop_oneof![Just(1.0f32), 1e-4f32..16.0],
+            step in 1u64..50,
+        ) {
+            let n = grads.len();
+            let mut a = (
+                (0..n).map(|i| ((i * 7) as f32 * 0.03).cos()).collect::<Vec<f32>>(),
+                (0..n).map(|i| (i as f32) * 1e-3).collect::<Vec<f32>>(),
+                (0..n).map(|i| (i as f32) * 2e-3).collect::<Vec<f32>>(),
+            );
+            let mut b = a.clone();
+            let expect_h = multi_pass_fp16(
+                &opt, step, &mut a.0, &mut a.1, &mut a.2, &grads, inv_scale,
+            );
+            let mut got_h = vec![0u16; n];
+            fused_update_fp16(
+                &opt, step, &mut b.0, &mut b.1, &mut b.2, &grads, inv_scale, &mut got_h,
+            );
+            prop_assert_eq!(
+                a.0.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                b.0.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                a.1.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                b.1.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                a.2.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                b.2.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(expect_h, got_h);
+        }
+    }
+}

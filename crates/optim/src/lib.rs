@@ -10,8 +10,13 @@
 //!
 //! * [`adam`] — the update kernels (scalar and rayon-parallel) and
 //!   [`adam::AdamConfig`].
+//! * [`fused`] — single-pass fused mixed-precision update kernels
+//!   (unscale + moment update + step + FP16 emission in one sweep), the
+//!   hot path of the functional engines.
 //! * [`state::SubgroupState`] — one subgroup's FP32 master state with
-//!   byte-level (de)serialization, the payload moved through storage tiers.
+//!   byte-level (de)serialization, the payload moved through storage
+//!   tiers — and [`state::SubgroupStateMut`], its zero-copy borrowed view
+//!   over a contiguous staging buffer.
 //! * [`accum::GradAccumulator`] — the host-resident FP16 gradient
 //!   accumulation buffer (§4.5).
 //! * [`scaler::DynamicLossScaler`] — standard mixed-precision loss scaling.
@@ -21,10 +26,11 @@
 
 pub mod accum;
 pub mod adam;
+pub mod fused;
 pub mod optimizer;
 pub mod scaler;
 pub mod state;
 
 pub use adam::AdamConfig;
 pub use optimizer::OptimizerConfig;
-pub use state::SubgroupState;
+pub use state::{SubgroupState, SubgroupStateMut};

@@ -13,13 +13,11 @@
 //! | Adagrad    | unused              | squared-gradient accumulator |
 //! | Lion       | EMA of updates      | unused |
 
+use mlp_tensor::PAR_CHUNK;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::adam::{adam_step, AdamConfig};
-
-/// Minimum elements per rayon work item.
-const PAR_CHUNK: usize = 64 * 1024;
 
 /// SGD with (optional) momentum and dampening.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -127,6 +125,40 @@ impl From<LionConfig> for OptimizerConfig {
     }
 }
 
+/// One parameter's SGD-with-momentum update. Shared with the fused
+/// single-pass kernel in [`crate::fused`] so both paths are bitwise
+/// identical by construction.
+#[inline(always)]
+pub(crate) fn sgd_elem(cfg: &SgdConfig, p: &mut f32, slot1: &mut f32, mut g: f32) {
+    if cfg.weight_decay != 0.0 {
+        g += cfg.weight_decay * *p;
+    }
+    let v = cfg.momentum * *slot1 + g;
+    *slot1 = v;
+    *p -= cfg.lr * v;
+}
+
+/// One parameter's Adagrad update (shared with [`crate::fused`]).
+#[inline(always)]
+pub(crate) fn adagrad_elem(cfg: &AdagradConfig, p: &mut f32, slot2: &mut f32, g: f32) {
+    *slot2 += g * g;
+    *p -= cfg.lr * g / (slot2.sqrt() + cfg.eps);
+}
+
+/// One parameter's Lion update (shared with [`crate::fused`]).
+#[inline(always)]
+pub(crate) fn lion_elem(cfg: &LionConfig, p: &mut f32, slot1: &mut f32, g: f32) {
+    let update = cfg.beta1 * *slot1 + (1.0 - cfg.beta1) * g;
+    let old = *p;
+    let mut new = old;
+    new -= cfg.lr * update.signum();
+    if cfg.weight_decay != 0.0 {
+        new -= cfg.lr * cfg.weight_decay * old;
+    }
+    *p = new;
+    *slot1 = cfg.beta2 * *slot1 + (1.0 - cfg.beta2) * g;
+}
+
 impl OptimizerConfig {
     /// Applies one step over a parameter slice (scalar kernel). `step` is
     /// 1-based; `slot1`/`slot2` are the persistent per-parameter state.
@@ -146,33 +178,17 @@ impl OptimizerConfig {
             OptimizerConfig::Adam(cfg) => adam_step(cfg, step, params, slot1, slot2, grads),
             OptimizerConfig::Sgd(cfg) => {
                 for i in 0..params.len() {
-                    let mut g = grads[i];
-                    if cfg.weight_decay != 0.0 {
-                        g += cfg.weight_decay * params[i];
-                    }
-                    let v = cfg.momentum * slot1[i] + g;
-                    slot1[i] = v;
-                    params[i] -= cfg.lr * v;
+                    sgd_elem(cfg, &mut params[i], &mut slot1[i], grads[i]);
                 }
             }
             OptimizerConfig::Adagrad(cfg) => {
                 for i in 0..params.len() {
-                    let g = grads[i];
-                    slot2[i] += g * g;
-                    params[i] -= cfg.lr * g / (slot2[i].sqrt() + cfg.eps);
+                    adagrad_elem(cfg, &mut params[i], &mut slot2[i], grads[i]);
                 }
             }
             OptimizerConfig::Lion(cfg) => {
                 for i in 0..params.len() {
-                    let g = grads[i];
-                    let update = cfg.beta1 * slot1[i] + (1.0 - cfg.beta1) * g;
-                    let mut p = params[i];
-                    p -= cfg.lr * update.signum();
-                    if cfg.weight_decay != 0.0 {
-                        p -= cfg.lr * cfg.weight_decay * params[i];
-                    }
-                    params[i] = p;
-                    slot1[i] = cfg.beta2 * slot1[i] + (1.0 - cfg.beta2) * g;
+                    lion_elem(cfg, &mut params[i], &mut slot1[i], grads[i]);
                 }
             }
         }

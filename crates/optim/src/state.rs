@@ -16,7 +16,89 @@ use mlp_tensor::convert;
 use mlp_tensor::HostBuffer;
 
 use crate::adam::{adam_step_par, AdamConfig};
+use crate::fused::fused_update_fp16;
 use crate::optimizer::OptimizerConfig;
+
+/// Borrowed, mutable view of one subgroup's FP32 master state laid out
+/// contiguously in a single staging buffer (`[params | momentum |
+/// variance]`, the serialized layout). This is the zero-copy half of the
+/// fused update pipeline: the bytes fetched by the AIO engine are viewed
+/// in place, mutated by the fused kernel, and flushed back from the same
+/// buffer — no `from_bytes`/`to_buffer` allocation or copy on the hot
+/// path. The owned [`SubgroupState`] remains the API for checkpoints and
+/// tests.
+pub struct SubgroupStateMut<'a> {
+    /// Master parameters.
+    pub params: &'a mut [f32],
+    /// Optimizer slot 1 (Adam first moment; see [`crate::optimizer`]).
+    pub momentum: &'a mut [f32],
+    /// Optimizer slot 2 (Adam second moment).
+    pub variance: &'a mut [f32],
+}
+
+impl<'a> SubgroupStateMut<'a> {
+    /// Views the first `12 * n` bytes of `buf` as one subgroup's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than `12 * n` bytes.
+    pub fn from_buffer(buf: &'a mut HostBuffer, n: usize) -> Self {
+        let all = buf.as_f32_mut(n * 3);
+        let (params, rest) = all.split_at_mut(n);
+        let (momentum, variance) = rest.split_at_mut(n);
+        SubgroupStateMut {
+            params,
+            momentum,
+            variance,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the subgroup is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Applies one fused optimizer step from FP16 gradient bits (`step`
+    /// is the 1-based step being applied), emitting the new FP16 working
+    /// copy into `fp16_out`. Single pass, no gradient materialization;
+    /// bitwise identical to [`SubgroupState::apply_update_fp16_opt`]
+    /// followed by [`SubgroupState::fp16_params`].
+    pub fn apply_update_fused(
+        &mut self,
+        opt: &OptimizerConfig,
+        step: u64,
+        grads_fp16: &[u16],
+        inv_scale: f32,
+        fp16_out: &mut [u16],
+    ) {
+        fused_update_fp16(
+            opt,
+            step,
+            self.params,
+            self.momentum,
+            self.variance,
+            grads_fp16,
+            inv_scale,
+            fp16_out,
+        );
+    }
+
+    /// Copies the view into an owned [`SubgroupState`] (checkpoints,
+    /// tests).
+    pub fn to_owned_state(&self, step: u64) -> SubgroupState {
+        SubgroupState {
+            params: self.params.to_vec(),
+            momentum: self.momentum.to_vec(),
+            variance: self.variance.to_vec(),
+            step,
+        }
+    }
+}
 
 /// FP32 master state of one subgroup.
 #[derive(Clone, Debug, PartialEq)]
@@ -170,6 +252,59 @@ mod tests {
     use super::*;
     use mlp_tensor::F16;
     use proptest::prelude::*;
+
+    #[test]
+    fn mut_view_aliases_serialized_layout() {
+        let mut st = SubgroupState::new((0..40).map(|i| i as f32 * 0.25).collect());
+        st.momentum[7] = -1.5;
+        st.variance[39] = 9.0;
+        let mut buf = st.to_buffer();
+        {
+            let view = SubgroupStateMut::from_buffer(&mut buf, 40);
+            assert_eq!(view.len(), 40);
+            assert_eq!(view.params, &st.params[..]);
+            assert_eq!(view.momentum, &st.momentum[..]);
+            assert_eq!(view.variance, &st.variance[..]);
+            assert_eq!(view.to_owned_state(3), {
+                let mut s = st.clone();
+                s.step = 3;
+                s
+            });
+        }
+        {
+            let view = SubgroupStateMut::from_buffer(&mut buf, 40);
+            view.params[0] = 123.0;
+            view.variance[0] = 7.0;
+        }
+        let back = SubgroupState::from_bytes(buf.as_bytes(), 0);
+        assert_eq!(back.params[0], 123.0);
+        assert_eq!(back.variance[0], 7.0);
+        assert_eq!(back.momentum[7], -1.5);
+    }
+
+    #[test]
+    fn fused_view_update_matches_owned_multi_pass() {
+        let opt = OptimizerConfig::default();
+        let grads: Vec<u16> = (0..64u32)
+            .map(|i| F16::from_f32((i as f32 - 32.0) * 0.125).to_bits())
+            .collect();
+        let mut owned = SubgroupState::new((0..64).map(|i| (i as f32).cos()).collect());
+        let mut buf = owned.to_buffer();
+        for step in 1..=3 {
+            owned.apply_update_fp16_opt(&opt, &grads, 0.5);
+            let expect_h = owned.fp16_params();
+
+            let mut view = SubgroupStateMut::from_buffer(&mut buf, 64);
+            let mut got_h = vec![0u16; 64];
+            view.apply_update_fused(&opt, step, &grads, 0.5, &mut got_h);
+            assert_eq!(expect_h, got_h, "step {step}");
+        }
+        assert_eq!(SubgroupState::from_bytes(buf.as_bytes(), 3), {
+            let mut s = owned.clone();
+            s.step = 3;
+            s
+        });
+    }
 
     #[test]
     fn buffer_round_trip_is_exact() {

@@ -25,6 +25,30 @@ pub trait Backend: Send + Sync + 'static {
     fn write(&self, key: &str, data: &[u8]) -> io::Result<()>;
     /// Retrieves the value stored under `key`.
     fn read(&self, key: &str) -> io::Result<Vec<u8>>;
+    /// Reads the object stored under `key` into the front of `dst`,
+    /// returning the number of bytes read — the allocation-free fetch
+    /// path: the caller recycles `dst` from a staging pool instead of
+    /// receiving a fresh `Vec` per read.
+    ///
+    /// Errors with [`io::ErrorKind::InvalidInput`] if the object is
+    /// larger than `dst`. The default implementation falls back to
+    /// [`Backend::read`] plus a copy; backends should override it with a
+    /// genuinely allocation-free read where possible.
+    fn read_into(&self, key: &str, dst: &mut [u8]) -> io::Result<usize> {
+        let data = self.read(key)?;
+        if data.len() > dst.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "object {key} is {} bytes but the destination holds {}",
+                    data.len(),
+                    dst.len()
+                ),
+            ));
+        }
+        dst[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
     /// Removes `key` if present.
     fn delete(&self, key: &str) -> io::Result<()>;
     /// Whether `key` currently exists.
@@ -107,6 +131,29 @@ impl Backend for MemBackend {
             })?;
         Self::throttle(self.read_bps, data.len());
         Ok(data.as_ref().clone())
+    }
+
+    fn read_into(&self, key: &str, dst: &mut [u8]) -> io::Result<usize> {
+        // One copy straight from the shared stored value into the
+        // caller's buffer — `read` would clone the whole Vec a second
+        // time only for the caller to deserialize and drop it.
+        let data =
+            self.map.lock().get(key).cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no object {key}"))
+            })?;
+        if data.len() > dst.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "object {key} is {} bytes but the destination holds {}",
+                    data.len(),
+                    dst.len()
+                ),
+            ));
+        }
+        Self::throttle(self.read_bps, data.len());
+        dst[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
     }
 
     fn delete(&self, key: &str) -> io::Result<()> {
@@ -197,6 +244,21 @@ impl Backend for DirBackend {
         std::fs::read(self.path_for(key)?)
     }
 
+    fn read_into(&self, key: &str, dst: &mut [u8]) -> io::Result<usize> {
+        use std::io::Read;
+        let mut f = std::fs::File::open(self.path_for(key)?)?;
+        let len = f.metadata()?.len();
+        if len > dst.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("object {key} is {len} bytes but the destination holds {}", dst.len()),
+            ));
+        }
+        let len = len as usize;
+        f.read_exact(&mut dst[..len])?;
+        Ok(len)
+    }
+
     fn delete(&self, key: &str) -> io::Result<()> {
         match std::fs::remove_file(self.path_for(key)?) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
@@ -226,6 +288,58 @@ mod tests {
         b.delete("a/b").unwrap();
         assert!(!b.contains("a/b"));
         assert!(b.read("a/b").is_err());
+    }
+
+    #[test]
+    fn mem_backend_read_into_fills_prefix() {
+        let b = MemBackend::new("mem");
+        b.write("k", &[5, 6, 7]).unwrap();
+        let mut dst = [0u8; 8];
+        assert_eq!(b.read_into("k", &mut dst).unwrap(), 3);
+        assert_eq!(&dst[..3], &[5, 6, 7]);
+        // Too-small destination is an error, missing key is NotFound.
+        let mut tiny = [0u8; 2];
+        assert_eq!(
+            b.read_into("k", &mut tiny).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert_eq!(
+            b.read_into("gone", &mut dst).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    /// The default-impl fallback (read + copy) must agree with the
+    /// native overrides.
+    #[test]
+    fn default_read_into_matches_native() {
+        struct Wrap(MemBackend);
+        impl Backend for Wrap {
+            fn write(&self, k: &str, d: &[u8]) -> io::Result<()> {
+                self.0.write(k, d)
+            }
+            fn read(&self, k: &str) -> io::Result<Vec<u8>> {
+                self.0.read(k)
+            }
+            fn delete(&self, k: &str) -> io::Result<()> {
+                self.0.delete(k)
+            }
+            fn contains(&self, k: &str) -> bool {
+                self.0.contains(k)
+            }
+            fn name(&self) -> &str {
+                "wrap"
+            }
+        }
+        let w = Wrap(MemBackend::new("mem"));
+        w.write("k", &[1, 2, 3, 4]).unwrap();
+        let mut a = [9u8; 6];
+        let mut b = [9u8; 6];
+        assert_eq!(w.read_into("k", &mut a).unwrap(), 4);
+        assert_eq!(w.0.read_into("k", &mut b).unwrap(), 4);
+        assert_eq!(a[..4], b[..4]);
+        let mut tiny = [0u8; 1];
+        assert!(w.read_into("k", &mut tiny).is_err());
     }
 
     #[test]
@@ -279,6 +393,22 @@ mod tests {
         b.delete("rank0/sub3").unwrap();
         assert!(!b.contains("rank0/sub3"));
         b.delete("rank0/sub3").unwrap(); // idempotent
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_read_into_round_trips() {
+        let root = temp_root("ri");
+        let b = DirBackend::new("dir", &root).unwrap();
+        b.write("rank0/sub0", &[1, 2, 3, 4, 5]).unwrap();
+        let mut dst = [0u8; 16];
+        assert_eq!(b.read_into("rank0/sub0", &mut dst).unwrap(), 5);
+        assert_eq!(&dst[..5], &[1, 2, 3, 4, 5]);
+        let mut tiny = [0u8; 4];
+        assert_eq!(
+            b.read_into("rank0/sub0", &mut tiny).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 

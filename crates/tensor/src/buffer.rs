@@ -2,52 +2,95 @@
 //!
 //! A [`HostBuffer`] is the unit of I/O in the functional offloading path: a
 //! subgroup's FP32 optimizer state is serialized into one before being
-//! flushed to a tier, and deserialized out of one after a fetch. Typed
-//! access is copy-based (`from_le_bytes`/`to_le_bytes`), which keeps the
-//! code free of `unsafe` while still auto-vectorizing well.
+//! flushed to a tier, and deserialized out of one after a fetch. The fused
+//! update pipeline goes further and mutates the fetched bytes *in place*
+//! through [`HostBuffer::as_f32_mut`], so the backing storage is allocated
+//! as `u32` words: the data pointer is always 4-byte aligned and
+//! reinterpreting it as `f32` is sound (every bit pattern is a valid
+//! `f32`/`u8`). That reinterpretation is the single, contained use of
+//! `unsafe` in the workspace; all copy-based accessors
+//! (`from_le_bytes`/`to_le_bytes`) remain safe code.
 
-/// A resizable, byte-addressed staging buffer.
+/// A byte-addressed staging buffer with a 4-byte-aligned backing store.
 #[derive(Clone, Default)]
 pub struct HostBuffer {
-    data: Vec<u8>,
+    /// Backing words; allocated so `words.len() * 4 >= len`.
+    words: Vec<u32>,
+    /// Logical length in bytes.
+    len: usize,
 }
 
 impl HostBuffer {
     /// Creates a zero-filled buffer of `len` bytes.
     pub fn zeroed(len: usize) -> Self {
         HostBuffer {
-            data: vec![0u8; len],
+            words: vec![0u32; len.div_ceil(4)],
+            len,
         }
     }
 
-    /// Creates a buffer that takes ownership of `data`.
+    /// Creates a buffer holding a copy of `data`.
     pub fn from_bytes(data: Vec<u8>) -> Self {
-        HostBuffer { data }
+        let mut buf = HostBuffer::zeroed(data.len());
+        buf.as_bytes_mut().copy_from_slice(&data);
+        buf
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Read-only byte view.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.data
+        // SAFETY: the words allocation covers at least `len` bytes, u8 has
+        // alignment 1, and every byte of a u32 is a valid u8.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
     }
 
     /// Mutable byte view.
     pub fn as_bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        // SAFETY: as `as_bytes`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
     }
 
-    /// Consumes the buffer, returning the backing bytes.
+    /// Consumes the buffer, returning its contents as plain bytes (copies:
+    /// the aligned backing store cannot be transferred to a `Vec<u8>`
+    /// without changing the allocation's layout).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.data
+        self.as_bytes().to_vec()
+    }
+
+    /// In-place `f32` view of the first `count` elements (bytes
+    /// `0..4*count` interpreted as native-endian `f32`, which equals the
+    /// serialized little-endian layout on every supported target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `4 * count` exceeds the buffer length.
+    pub fn as_f32(&self, count: usize) -> &[f32] {
+        assert!(count * 4 <= self.len, "as_f32 out of bounds");
+        // SAFETY: the backing store is 4-byte aligned (Vec<u32>), covers
+        // `count` f32s, and every bit pattern is a valid f32.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<f32>(), count) }
+    }
+
+    /// Mutable in-place `f32` view of the first `count` elements — the
+    /// zero-copy window the fused update kernels mutate directly, instead
+    /// of deserializing into fresh `Vec<f32>`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `4 * count` exceeds the buffer length.
+    pub fn as_f32_mut(&mut self, count: usize) -> &mut [f32] {
+        assert!(count * 4 <= self.len, "as_f32_mut out of bounds");
+        // SAFETY: as `as_f32`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f32>(), count) }
     }
 
     /// Copies `count` little-endian `f32`s starting at byte `offset`.
@@ -57,8 +100,8 @@ impl HostBuffer {
     /// Panics if the range is out of bounds.
     pub fn read_f32(&self, offset: usize, count: usize) -> Vec<f32> {
         let end = offset + count * 4;
-        assert!(end <= self.data.len(), "read_f32 out of bounds");
-        self.data[offset..end]
+        assert!(end <= self.len, "read_f32 out of bounds");
+        self.as_bytes()[offset..end]
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect()
@@ -68,8 +111,11 @@ impl HostBuffer {
     /// into `dst` without allocating.
     pub fn read_f32_into(&self, offset: usize, dst: &mut [f32]) {
         let end = offset + dst.len() * 4;
-        assert!(end <= self.data.len(), "read_f32_into out of bounds");
-        for (d, c) in dst.iter_mut().zip(self.data[offset..end].chunks_exact(4)) {
+        assert!(end <= self.len, "read_f32_into out of bounds");
+        for (d, c) in dst
+            .iter_mut()
+            .zip(self.as_bytes()[offset..end].chunks_exact(4))
+        {
             *d = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
         }
     }
@@ -81,8 +127,11 @@ impl HostBuffer {
     /// Panics if the range is out of bounds.
     pub fn write_f32(&mut self, offset: usize, src: &[f32]) {
         let end = offset + src.len() * 4;
-        assert!(end <= self.data.len(), "write_f32 out of bounds");
-        for (c, s) in self.data[offset..end].chunks_exact_mut(4).zip(src) {
+        assert!(end <= self.len, "write_f32 out of bounds");
+        for (c, s) in self.as_bytes_mut()[offset..end]
+            .chunks_exact_mut(4)
+            .zip(src)
+        {
             c.copy_from_slice(&s.to_le_bytes());
         }
     }
@@ -91,8 +140,8 @@ impl HostBuffer {
     /// byte `offset`.
     pub fn read_u16(&self, offset: usize, count: usize) -> Vec<u16> {
         let end = offset + count * 2;
-        assert!(end <= self.data.len(), "read_u16 out of bounds");
-        self.data[offset..end]
+        assert!(end <= self.len, "read_u16 out of bounds");
+        self.as_bytes()[offset..end]
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect()
@@ -101,8 +150,11 @@ impl HostBuffer {
     /// Writes `src` as little-endian `u16`s starting at byte `offset`.
     pub fn write_u16(&mut self, offset: usize, src: &[u16]) {
         let end = offset + src.len() * 2;
-        assert!(end <= self.data.len(), "write_u16 out of bounds");
-        for (c, s) in self.data[offset..end].chunks_exact_mut(2).zip(src) {
+        assert!(end <= self.len, "write_u16 out of bounds");
+        for (c, s) in self.as_bytes_mut()[offset..end]
+            .chunks_exact_mut(2)
+            .zip(src)
+        {
             c.copy_from_slice(&s.to_le_bytes());
         }
     }
@@ -110,7 +162,7 @@ impl HostBuffer {
 
 impl std::fmt::Debug for HostBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HostBuffer({} bytes)", self.data.len())
+        write!(f, "HostBuffer({} bytes)", self.len)
     }
 }
 
@@ -152,9 +204,42 @@ mod tests {
     }
 
     #[test]
+    fn in_place_view_sees_serialized_values() {
+        let mut buf = HostBuffer::zeroed(16);
+        let vals = [0.25f32, -3.5, 1e-40, f32::INFINITY];
+        buf.write_f32(0, &vals);
+        assert_eq!(buf.as_f32(4), vals);
+        buf.as_f32_mut(4)[1] = 7.0;
+        assert_eq!(buf.read_f32(0, 4), vec![0.25, 7.0, 1e-40, f32::INFINITY]);
+    }
+
+    #[test]
+    fn in_place_view_survives_byte_writes() {
+        let mut buf = HostBuffer::zeroed(8);
+        buf.as_bytes_mut().copy_from_slice(&[0, 0, 128, 63, 0, 0, 0, 64]); // 1.0, 2.0 LE
+        assert_eq!(buf.as_f32(2), [1.0, 2.0]);
+    }
+
+    #[test]
+    fn odd_byte_lengths_round_trip() {
+        let mut buf = HostBuffer::zeroed(7);
+        assert_eq!(buf.len(), 7);
+        buf.as_bytes_mut().copy_from_slice(&[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(buf.clone().into_bytes(), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(HostBuffer::from_bytes(vec![9; 5]).as_bytes(), &[9u8; 5]);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn oob_write_panics() {
         let mut buf = HostBuffer::zeroed(4);
         buf.write_f32(4, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_f32_view_panics() {
+        let mut buf = HostBuffer::zeroed(7);
+        buf.as_f32_mut(2);
     }
 }

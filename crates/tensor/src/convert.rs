@@ -11,10 +11,7 @@
 use rayon::prelude::*;
 
 use crate::f16::{f16_bits_to_f32, f32_to_f16_bits};
-
-/// Minimum elements per rayon work item; below this the parallel kernels
-/// fall back to a single sequential pass to avoid fork/join overhead.
-const PAR_CHUNK: usize = 64 * 1024;
+use crate::PAR_CHUNK;
 
 /// Upscales FP16 (raw bits) to FP32, element by element.
 ///

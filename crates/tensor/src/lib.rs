@@ -33,3 +33,15 @@ pub use bf16::BF16;
 pub use buffer::HostBuffer;
 pub use f16::F16;
 pub use pool::{PinnedPool, PooledBuffer};
+
+/// Minimum elements per rayon work item for every bulk kernel in the
+/// workspace (conversion, optimizer steps, fused update).
+///
+/// Below this size the kernels fall back to a single sequential pass —
+/// fork/join overhead dominates under ~64K elements. The value also fixes
+/// the parallel split points, so any two kernels chunked by `PAR_CHUNK`
+/// process identical element ranges (relevant only for auditing: the
+/// per-element updates are order-independent and bitwise identical
+/// regardless of the split). Tune it here, once; `mlp-optim` and the fused
+/// update pipeline all chunk by this constant.
+pub const PAR_CHUNK: usize = 64 * 1024;

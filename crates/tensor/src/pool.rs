@@ -17,6 +17,7 @@ struct PoolState {
     idle: Vec<HostBuffer>,
     outstanding: usize,
     high_water: usize,
+    acquires: u64,
 }
 
 struct PoolShared {
@@ -47,6 +48,7 @@ impl PinnedPool {
                     idle,
                     outstanding: 0,
                     high_water: 0,
+                    acquires: 0,
                 }),
                 available: Condvar::new(),
                 buffer_bytes,
@@ -75,6 +77,14 @@ impl PinnedPool {
         self.shared.state.lock().high_water
     }
 
+    /// Total successful acquisitions over the pool's lifetime. Together
+    /// with [`PinnedPool::high_water`] this proves buffer recycling: a hot
+    /// loop that acquires N times while the high-water mark stays at the
+    /// (much smaller) capacity performed zero per-acquisition allocations.
+    pub fn acquires(&self) -> u64 {
+        self.shared.state.lock().acquires
+    }
+
     /// Takes a buffer, blocking the calling thread until one is free.
     pub fn acquire(&self) -> PooledBuffer {
         let mut st = self.shared.state.lock();
@@ -97,6 +107,7 @@ impl PinnedPool {
     fn check_out(&self, st: &mut PoolState) -> PooledBuffer {
         let buf = st.idle.pop().expect("checked non-empty");
         st.outstanding += 1;
+        st.acquires += 1;
         st.high_water = st.high_water.max(st.outstanding);
         PooledBuffer {
             pool: self.clone(),

@@ -17,9 +17,12 @@ use std::io;
 use std::sync::Arc;
 
 use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
-use mlp_optim::{AdamConfig, SubgroupState};
+use mlp_optim::fused::fused_update_f32;
+use mlp_optim::optimizer::OptimizerConfig;
+use mlp_optim::{AdamConfig, SubgroupState, SubgroupStateMut};
 use mlp_storage::Backend;
 use mlp_tensor::convert;
+use mlp_tensor::pool::PinnedPool;
 use mlp_tensor::HostBuffer;
 
 /// Result of one baseline update phase.
@@ -37,11 +40,20 @@ pub struct Zero3UpdateOutcome {
 pub struct Zero3FuncEngine {
     engine: AioEngine,
     adam: AdamConfig,
+    /// The same Adam parameters as an [`OptimizerConfig`], for the fused
+    /// kernel.
+    opt: OptimizerConfig,
     worker_id: usize,
     subgroup_lens: Vec<usize>,
     /// FP32 gradient accumulation buffers (host side).
     grad_accum: Vec<Vec<f32>>,
+    /// Staging buffers for pooled state/gradient fetches and flushes
+    /// (fused path): sized for the largest subgroup's serialized state.
+    pool: PinnedPool,
     pipeline_depth: usize,
+    /// Single-pass fused update over pooled buffers (default); `false`
+    /// falls back to the allocating multi-pass path for A/B comparison.
+    fused: bool,
     step: u64,
     iter: u64,
     inv_loss_scale: f32,
@@ -58,13 +70,23 @@ impl Zero3FuncEngine {
     ) -> io::Result<Self> {
         let engine = AioEngine::new(backend, AioConfig::default());
         let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
+        let pipeline_depth = 3;
+        // The fused path holds two pooled buffers per in-flight subgroup
+        // (state + gradients, both fit a state-sized buffer); blocked
+        // acquires unblock as I/O workers complete flushes, so a small
+        // fixed pool bounds staging memory without deadlock.
+        let buffer_bytes = subgroup_lens.iter().copied().max().unwrap_or(1).max(1) * 12;
+        let pool = PinnedPool::new(2 * pipeline_depth + 4, buffer_bytes);
         let me = Zero3FuncEngine {
             grad_accum: subgroup_lens.iter().map(|&n| vec![0.0; n]).collect(),
             engine,
+            opt: OptimizerConfig::from(adam),
             adam,
             worker_id,
             subgroup_lens,
-            pipeline_depth: 3,
+            pool,
+            pipeline_depth,
+            fused: true,
             step: 0,
             iter: 0,
             inv_loss_scale: 1.0,
@@ -86,6 +108,12 @@ impl Zero3FuncEngine {
     /// Sets the inverse loss scale applied to gradients before the update.
     pub fn set_inv_loss_scale(&mut self, inv: f32) {
         self.inv_loss_scale = inv;
+    }
+
+    /// Selects the fused single-pass update path (`true`, the default) or
+    /// the legacy allocating multi-pass path (`false`) for A/B comparison.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
     }
 
     /// Number of subgroups.
@@ -121,16 +149,30 @@ impl Zero3FuncEngine {
 
     /// Flushes the accumulated FP32 gradients to storage (the end of the
     /// last backward micro-step in Fig. 6 top).
+    ///
+    /// The fused configuration stages each flush through a recycled pooled
+    /// buffer (acquisition blocks on pool exhaustion, bounding staging
+    /// memory); the multi-pass configuration allocates per subgroup.
     pub fn flush_gradients(&mut self) -> io::Result<()> {
         let mut handles = Vec::new();
         for (idx, g) in self.grad_accum.iter().enumerate() {
-            let mut buf = HostBuffer::zeroed(g.len() * 4);
-            buf.write_f32(0, g);
-            self.grad_bytes_this_iter += buf.len() as u64;
-            handles.push(
-                self.engine
-                    .submit_write(&self.grad_key(idx), buf.into_bytes()),
-            );
+            let nbytes = g.len() * 4;
+            self.grad_bytes_this_iter += nbytes as u64;
+            if self.fused {
+                let mut buf = self.pool.acquire();
+                buf.buffer_mut().write_f32(0, g);
+                handles.push(
+                    self.engine
+                        .submit_write_pooled(&self.grad_key(idx), buf, nbytes),
+                );
+            } else {
+                let mut buf = HostBuffer::zeroed(nbytes);
+                buf.write_f32(0, g);
+                handles.push(
+                    self.engine
+                        .submit_write(&self.grad_key(idx), buf.into_bytes()),
+                );
+            }
         }
         for h in handles {
             h.wait()?;
@@ -140,6 +182,12 @@ impl Zero3FuncEngine {
 
     /// Runs one update phase in ascending subgroup order: fetch state +
     /// FP32 gradients, Adam, flush state back.
+    ///
+    /// The fused configuration fetches into pooled staging buffers via
+    /// [`mlp_storage::Backend::read_into`], runs the single-pass fused
+    /// kernel over the state buffer in place, and flushes from the same
+    /// buffer; the multi-pass configuration deserializes, scales, steps,
+    /// downscales, and re-serializes with per-subgroup allocations.
     pub fn update(&mut self) -> io::Result<Zero3UpdateOutcome> {
         let m = self.subgroup_lens.len();
         self.step += 1;
@@ -148,7 +196,85 @@ impl Zero3FuncEngine {
             fetches: 0,
             grad_bytes_through_storage: 0,
         };
+        if self.fused {
+            self.run_update_fused(&mut outcome)?;
+        } else {
+            self.run_update_multipass(&mut outcome)?;
+        }
+        for buf in &mut self.grad_accum {
+            buf.fill(0.0);
+        }
+        outcome.grad_bytes_through_storage = self.grad_bytes_this_iter;
+        self.grad_bytes_this_iter = 0;
+        self.iter += 1;
+        Ok(outcome)
+    }
 
+    fn run_update_fused(&mut self, outcome: &mut Zero3UpdateOutcome) -> io::Result<()> {
+        let m = self.subgroup_lens.len();
+        let mut pending: VecDeque<(usize, OpHandle, OpHandle)> = VecDeque::new();
+        let mut next_to_submit = 0usize;
+        let mut flush_handles = Vec::new();
+
+        for _ in 0..m {
+            while next_to_submit < m && pending.len() < self.pipeline_depth {
+                let idx = next_to_submit;
+                next_to_submit += 1;
+                let n = self.subgroup_lens[idx];
+                let state_buf = self.pool.acquire();
+                let grad_buf = self.pool.acquire();
+                let state_h = self
+                    .engine
+                    .submit_read_pooled(&self.state_key(idx), state_buf, n * 12);
+                let grad_h = self
+                    .engine
+                    .submit_read_pooled(&self.grad_key(idx), grad_buf, n * 4);
+                pending.push_back((idx, state_h, grad_h));
+            }
+            let (idx, state_h, grad_h) = pending.pop_front().expect("window non-empty");
+            let n = self.subgroup_lens[idx];
+            let (mut state_buf, state_n) = state_h.wait_pooled()?;
+            let (grad_buf, grad_n) = grad_h.wait_pooled()?;
+            assert_eq!(state_n, n * 12, "short state read");
+            assert_eq!(grad_n, n * 4, "short gradient read");
+            self.grad_bytes_this_iter += grad_n as u64;
+            outcome.fetches += 1;
+
+            // Single fused pass: scale + Adam + FP16 emission, mutating
+            // the fetched state buffer in place.
+            let mut fp16 = vec![0u16; n];
+            {
+                let view = SubgroupStateMut::from_buffer(state_buf.buffer_mut(), n);
+                fused_update_f32(
+                    &self.opt,
+                    self.step,
+                    view.params,
+                    view.momentum,
+                    view.variance,
+                    grad_buf.as_f32(n),
+                    self.inv_loss_scale,
+                    &mut fp16,
+                );
+            }
+            outcome.fp16_params[idx] = fp16;
+            drop(grad_buf); // back to the pool
+
+            // Flush straight from the staging buffer.
+            flush_handles.push(self.engine.submit_write_pooled(
+                &self.state_key(idx),
+                state_buf,
+                n * 12,
+            ));
+        }
+
+        for h in flush_handles {
+            h.wait()?;
+        }
+        Ok(())
+    }
+
+    fn run_update_multipass(&mut self, outcome: &mut Zero3UpdateOutcome) -> io::Result<()> {
+        let m = self.subgroup_lens.len();
         let mut pending: VecDeque<(usize, OpHandle, OpHandle)> = VecDeque::new();
         let mut next_to_submit = 0usize;
         let mut flush_handles = Vec::new();
@@ -187,13 +313,7 @@ impl Zero3FuncEngine {
         for h in flush_handles {
             h.wait()?;
         }
-        for buf in &mut self.grad_accum {
-            buf.fill(0.0);
-        }
-        outcome.grad_bytes_through_storage = self.grad_bytes_this_iter;
-        self.grad_bytes_this_iter = 0;
-        self.iter += 1;
-        Ok(outcome)
+        Ok(())
     }
 
     /// Gathers the FP32 master parameters of every subgroup.
@@ -279,6 +399,47 @@ mod tests {
         // 3 subgroups × 10 params × 4 B, flushed then fetched.
         assert_eq!(o.grad_bytes_through_storage, 2 * 3 * 10 * 4);
         assert_eq!(o.fetches, 3);
+    }
+
+    #[test]
+    fn fused_path_is_bit_identical_to_multi_pass_path() {
+        let adam = AdamConfig::default();
+        let mk = |name: &str| {
+            Zero3FuncEngine::new(
+                Arc::new(MemBackend::new(name)),
+                adam,
+                0,
+                init_states(4, 24),
+            )
+            .unwrap()
+        };
+        let mut fused = mk("fused");
+        assert!(fused.fused, "fused path is the default");
+        let mut multi = mk("multi");
+        multi.set_fused(false);
+
+        for it in 0..3 {
+            let grads = grads_for(4, 24, it as f32);
+            for e in [&mut fused, &mut multi] {
+                e.set_inv_loss_scale(0.5);
+                e.accumulate_gradients(&grads);
+                e.flush_gradients().unwrap();
+            }
+            let of = fused.update().unwrap();
+            let om = multi.update().unwrap();
+            assert_eq!(of.fp16_params, om.fp16_params, "iteration {it}");
+            assert_eq!(
+                of.grad_bytes_through_storage,
+                om.grad_bytes_through_storage
+            );
+        }
+        assert_eq!(
+            fused.master_params().unwrap(),
+            multi.master_params().unwrap()
+        );
+        // The fused engine's staging pool was recycled, not grown.
+        assert!(fused.pool.acquires() > fused.pool.capacity() as u64);
+        assert!(fused.pool.high_water() <= fused.pool.capacity());
     }
 
     #[test]
