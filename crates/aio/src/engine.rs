@@ -1,16 +1,98 @@
 //! The asynchronous I/O engine: submission queue → worker pool →
 //! completion handles.
+//!
+//! Failure semantics: every backend call runs under the engine's
+//! [`RetryPolicy`] (bounded attempts with exponential backoff for
+//! *transient* errors, immediate surfacing of *permanent* ones — see
+//! [`mlp_storage::fault::classify`]), completions are counted only on
+//! success (failed ops increment the `errors` counter instead), and a
+//! panicking backend poisons the op's completion slot with an
+//! [`io::Error`] rather than leaving waiters blocked forever.
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
+use mlp_storage::fault::is_transient;
 use mlp_storage::Backend;
 use mlp_tensor::PooledBuffer;
+
+/// Bounded-attempt exponential-backoff retry of transient I/O errors,
+/// executed inside the I/O workers around every backend call.
+///
+/// Only errors classified transient by [`mlp_storage::fault::classify`]
+/// (interruptions, timeouts, `EIO`/`EAGAIN`/`ENOSPC`) are re-issued;
+/// permanent errors (not found, invalid data, …) surface immediately.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub backoff_multiplier: f64,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(200),
+            backoff_multiplier: 4.0,
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every error surfaces on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff slept after `failed_attempts` attempts have failed
+    /// (exponential in the attempt count, capped at `max_backoff`).
+    pub fn backoff_for(&self, failed_attempts: u32) -> Duration {
+        let exp = failed_attempts.saturating_sub(1).min(32);
+        let factor = self.backoff_multiplier.max(1.0).powi(exp as i32);
+        let backoff = self.base_backoff.as_secs_f64() * factor;
+        Duration::from_secs_f64(backoff).min(self.max_backoff)
+    }
+
+    /// Runs `f` under this policy, bumping `retries` once per re-attempt.
+    fn run<T>(&self, retries: &AtomicU64, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 1u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.max_attempts && is_transient(&e) => {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.backoff_for(attempt));
+                    attempt += 1;
+                }
+                Err(e) if attempt > 1 => {
+                    // Preserve the kind so upstream classification still
+                    // sees a transient error, but record the exhaustion.
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("giving up after {attempt} attempts: {e}"),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -21,6 +103,8 @@ pub struct AioConfig {
     /// Maximum queued + in-flight operations before `submit_*` blocks,
     /// modelling a bounded kernel submission queue.
     pub queue_depth: usize,
+    /// Retry policy applied to every backend call inside the workers.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AioConfig {
@@ -28,6 +112,7 @@ impl Default for AioConfig {
         AioConfig {
             workers: 2,
             queue_depth: 64,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -57,6 +142,18 @@ enum OpOutput {
     Pooled(PooledBuffer, usize),
 }
 
+/// The payload of a *failed* write, handed back to the caller through
+/// [`OpHandle::wait_flush`] so the only copy of dirty state is not lost
+/// when a flush fails — the caller can keep it host-resident and re-drive
+/// the flush later.
+pub enum ReclaimedWrite {
+    /// The owned bytes of a failed [`AioEngine::submit_write`].
+    Bytes(Vec<u8>),
+    /// The staging buffer of a failed [`AioEngine::submit_write_pooled`]
+    /// (its contents are untouched by the failure).
+    Pooled(PooledBuffer),
+}
+
 struct Op {
     key: String,
     kind: OpKind,
@@ -67,6 +164,10 @@ struct OpState {
     result: Mutex<Option<io::Result<OpOutput>>>,
     done: Condvar,
     bytes: AtomicUsize,
+    /// Failed-write payload, set by the worker before the error is
+    /// published. Dropped (pooled buffers recycle) if the waiter does not
+    /// collect it via [`OpHandle::wait_flush`].
+    reclaim: Mutex<Option<ReclaimedWrite>>,
 }
 
 impl OpState {
@@ -102,6 +203,23 @@ impl OpHandle {
         }
     }
 
+    /// Blocks until a write completes. On failure, hands back the write's
+    /// payload (owned bytes or pooled staging buffer, contents intact) so
+    /// the caller can keep the dirty state and re-drive the flush — a
+    /// failed flush must not destroy the only copy of updated state.
+    ///
+    /// The payload is `None` when it could not be preserved (the backend
+    /// panicked mid-write) or when the op was not a write.
+    pub fn wait_flush(self) -> Result<(), (io::Error, Option<ReclaimedWrite>)> {
+        match self.state.take_result() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                let payload = self.state.reclaim.lock().take();
+                Err((e, payload))
+            }
+        }
+    }
+
     /// Blocks until a pooled read completes and returns the staging
     /// buffer (its first `len` bytes hold the object).
     ///
@@ -121,7 +239,8 @@ impl OpHandle {
         self.state.result.lock().is_some()
     }
 
-    /// Bytes moved by the operation (available after completion).
+    /// Bytes moved by the operation (available after successful
+    /// completion; stays 0 for failed ops).
     pub fn bytes(&self) -> usize {
         self.state.bytes.load(Ordering::Relaxed)
     }
@@ -133,8 +252,90 @@ struct Stats {
     writes: AtomicU64,
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
+    retries: AtomicU64,
+    errors: AtomicU64,
     busy_nanos: AtomicU64,
-    pending: AtomicUsize,
+    /// Submitted-but-not-completed count, guarded by a mutex so
+    /// [`AioEngine::drain`] can block on `all_done` instead of spinning.
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// Executes one operation against the backend under the retry policy.
+///
+/// Completion counters (`reads`/`writes`/`*_bytes`) are bumped only on
+/// success; failures are the caller's to count. Pooled buffers return to
+/// their pool on every path: success (write) / handed back (read), error
+/// (dropped here), and panic (dropped during unwind).
+fn execute_op(
+    backend: &dyn Backend,
+    retry: &RetryPolicy,
+    stats: &Stats,
+    state: &OpState,
+    key: &str,
+    kind: OpKind,
+) -> io::Result<OpOutput> {
+    match kind {
+        OpKind::Write(data) => {
+            match retry.run(&stats.retries, || backend.write(key, &data)) {
+                Ok(()) => {
+                    state.bytes.store(data.len(), Ordering::Relaxed);
+                    stats.writes.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .write_bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    Ok(OpOutput::None)
+                }
+                Err(e) => {
+                    // Preserve the payload for wait_flush reclamation.
+                    *state.reclaim.lock() = Some(ReclaimedWrite::Bytes(data));
+                    Err(e)
+                }
+            }
+        }
+        OpKind::WritePooled(buf, len) => {
+            match retry.run(&stats.retries, || {
+                backend.write(key, &buf.buffer().as_bytes()[..len])
+            }) {
+                Ok(()) => {
+                    drop(buf); // staging buffer back to its pool
+                    state.bytes.store(len, Ordering::Relaxed);
+                    stats.writes.fetch_add(1, Ordering::Relaxed);
+                    stats.write_bytes.fetch_add(len as u64, Ordering::Relaxed);
+                    Ok(OpOutput::None)
+                }
+                Err(e) => {
+                    *state.reclaim.lock() = Some(ReclaimedWrite::Pooled(buf));
+                    Err(e)
+                }
+            }
+        }
+        OpKind::Read => {
+            let data = retry.run(&stats.retries, || backend.read(key))?;
+            state.bytes.store(data.len(), Ordering::Relaxed);
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            stats
+                .read_bytes
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            Ok(OpOutput::Bytes(data))
+        }
+        OpKind::ReadPooled(mut buf, len) => {
+            // A retried attempt overwrites whatever a failed partial read
+            // left in the window; on error the buffer drops here and
+            // recycles to its pool.
+            let n = retry.run(&stats.retries, || {
+                backend.read_into(key, &mut buf.buffer_mut().as_bytes_mut()[..len])
+            })?;
+            state.bytes.store(n, Ordering::Relaxed);
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            stats.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
+            Ok(OpOutput::Pooled(buf, n))
+        }
+        OpKind::Delete => {
+            retry.run(&stats.retries, || backend.delete(key))?;
+            Ok(OpOutput::None)
+        }
+    }
 }
 
 /// A per-tier asynchronous I/O engine.
@@ -161,61 +362,39 @@ impl AioEngine {
                 let rx = rx.clone();
                 let backend = Arc::clone(&backend);
                 let stats = Arc::clone(&stats);
+                let retry = config.retry.clone();
                 std::thread::Builder::new()
                     .name(format!("aio-{}-{}", backend_name, i))
                     .spawn(move || {
                         while let Ok(op) = rx.recv() {
                             let t0 = Instant::now();
-                            let _pending = PendingGuard(&stats.pending);
-                            let result = match op.kind {
-                                OpKind::Write(data) => {
-                                    op.state.bytes.store(data.len(), Ordering::Relaxed);
-                                    stats.writes.fetch_add(1, Ordering::Relaxed);
-                                    stats
-                                        .write_bytes
-                                        .fetch_add(data.len() as u64, Ordering::Relaxed);
-                                    backend.write(&op.key, &data).map(|()| OpOutput::None)
-                                }
-                                OpKind::WritePooled(buf, len) => {
-                                    op.state.bytes.store(len, Ordering::Relaxed);
-                                    stats.writes.fetch_add(1, Ordering::Relaxed);
-                                    stats.write_bytes.fetch_add(len as u64, Ordering::Relaxed);
-                                    let result =
-                                        backend.write(&op.key, &buf.buffer().as_bytes()[..len]);
-                                    drop(buf); // staging buffer back to its pool
-                                    result.map(|()| OpOutput::None)
-                                }
-                                OpKind::Read => backend.read(&op.key).map(|data| {
-                                    op.state.bytes.store(data.len(), Ordering::Relaxed);
-                                    stats.reads.fetch_add(1, Ordering::Relaxed);
-                                    stats
-                                        .read_bytes
-                                        .fetch_add(data.len() as u64, Ordering::Relaxed);
-                                    OpOutput::Bytes(data)
-                                }),
-                                OpKind::ReadPooled(mut buf, len) => {
-                                    // On error the buffer drops here and
-                                    // recycles to its pool.
-                                    let window = &mut buf.buffer_mut().as_bytes_mut()[..len];
-                                    match backend.read_into(&op.key, window) {
-                                        Ok(n) => {
-                                            op.state.bytes.store(n, Ordering::Relaxed);
-                                            stats.reads.fetch_add(1, Ordering::Relaxed);
-                                            stats
-                                                .read_bytes
-                                                .fetch_add(n as u64, Ordering::Relaxed);
-                                            Ok(OpOutput::Pooled(buf, n))
-                                        }
-                                        Err(e) => Err(e),
-                                    }
-                                }
-                                OpKind::Delete => backend.delete(&op.key).map(|()| OpOutput::None),
-                            };
+                            let Op { key, kind, state } = op;
+                            // A panicking backend must not leave waiters
+                            // blocked on a result that never arrives:
+                            // catch the unwind (dropping any staging
+                            // buffer back to its pool on the way) and
+                            // poison the completion slot with an error.
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                execute_op(&*backend, &retry, &stats, &state, &key, kind)
+                            }))
+                            .unwrap_or_else(|_| {
+                                Err(io::Error::other(format!(
+                                    "I/O worker panicked while processing {key}"
+                                )))
+                            });
+                            if result.is_err() {
+                                stats.errors.fetch_add(1, Ordering::Relaxed);
+                            }
                             stats
                                 .busy_nanos
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            *op.state.result.lock() = Some(result);
-                            op.state.done.notify_all();
+                            *state.result.lock() = Some(result);
+                            state.done.notify_all();
+                            let mut pending = stats.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                stats.all_done.notify_all();
+                            }
                         }
                     })
                     .expect("spawn aio worker")
@@ -230,11 +409,12 @@ impl AioEngine {
     }
 
     fn submit(&self, key: &str, kind: OpKind) -> OpHandle {
-        self.stats.pending.fetch_add(1, Ordering::SeqCst);
+        *self.stats.pending.lock() += 1;
         let state = Arc::new(OpState {
             result: Mutex::new(None),
             done: Condvar::new(),
             bytes: AtomicUsize::new(0),
+            reclaim: Mutex::new(None),
         });
         let op = Op {
             key: key.to_string(),
@@ -296,7 +476,8 @@ impl AioEngine {
         &self.backend_name
     }
 
-    /// (reads, writes) completed so far.
+    /// (reads, writes) completed *successfully* so far; failed operations
+    /// are counted by [`AioEngine::op_errors`] instead.
     pub fn ops_completed(&self) -> (u64, u64) {
         (
             self.stats.reads.load(Ordering::Relaxed),
@@ -304,7 +485,7 @@ impl AioEngine {
         )
     }
 
-    /// (read bytes, written bytes) moved so far.
+    /// (read bytes, written bytes) moved by successful operations.
     pub fn bytes_moved(&self) -> (u64, u64) {
         (
             self.stats.read_bytes.load(Ordering::Relaxed),
@@ -312,33 +493,35 @@ impl AioEngine {
         )
     }
 
-    /// Cumulative worker busy time in seconds (sums across workers).
+    /// Transient-error re-attempts performed by the retry layer.
+    pub fn retries(&self) -> u64 {
+        self.stats.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations that ultimately failed (after any retries).
+    pub fn op_errors(&self) -> u64 {
+        self.stats.errors.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative worker busy time in seconds (sums across workers,
+    /// including retry backoff).
     pub fn busy_seconds(&self) -> f64 {
         self.stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Operations submitted but not yet completed.
     pub fn pending_ops(&self) -> usize {
-        self.stats.pending.load(Ordering::SeqCst)
+        *self.stats.pending.lock()
     }
 
-    /// Busy-waits (with yielding) until every submitted operation has
-    /// completed — a completion barrier like `io_getevents` draining the
-    /// whole queue.
+    /// Blocks until every submitted operation has completed — a
+    /// completion barrier like `io_getevents` draining the whole queue.
+    /// Parked on a condvar, so draining a slow tier does not burn a core.
     pub fn drain(&self) {
-        while self.pending_ops() > 0 {
-            std::thread::yield_now();
+        let mut pending = self.stats.pending.lock();
+        while *pending > 0 {
+            self.stats.all_done.wait(&mut pending);
         }
-    }
-}
-
-/// Decrements the pending-op counter when a worker finishes an op,
-/// including on panic unwind.
-struct PendingGuard<'a>(&'a AtomicUsize);
-
-impl Drop for PendingGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -356,6 +539,7 @@ impl Drop for AioEngine {
 mod tests {
     use super::*;
     use mlp_storage::MemBackend;
+    use std::sync::atomic::AtomicUsize;
 
     fn engine(workers: usize) -> AioEngine {
         AioEngine::new(
@@ -363,8 +547,110 @@ mod tests {
             AioConfig {
                 workers,
                 queue_depth: 16,
+                ..AioConfig::default()
             },
         )
+    }
+
+    /// A retry policy with microsecond backoffs for fast tests.
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_micros(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_micros(100),
+        }
+    }
+
+    /// Fails every op with the given error kind.
+    struct FailingBackend(io::ErrorKind);
+
+    impl Backend for FailingBackend {
+        fn write(&self, _k: &str, _d: &[u8]) -> io::Result<()> {
+            Err(io::Error::new(self.0, "injected write failure"))
+        }
+        fn read(&self, _k: &str) -> io::Result<Vec<u8>> {
+            Err(io::Error::new(self.0, "injected read failure"))
+        }
+        fn delete(&self, _k: &str) -> io::Result<()> {
+            Err(io::Error::new(self.0, "injected delete failure"))
+        }
+        fn contains(&self, _k: &str) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "failing"
+        }
+    }
+
+    /// Fails the first `failures` ops with a transient error, then
+    /// delegates to an inner in-memory backend.
+    struct EventuallyBackend {
+        inner: MemBackend,
+        failures: AtomicUsize,
+    }
+
+    impl EventuallyBackend {
+        fn new(failures: usize) -> Self {
+            EventuallyBackend {
+                inner: MemBackend::new("mem"),
+                failures: AtomicUsize::new(failures),
+            }
+        }
+
+        fn gate(&self) -> io::Result<()> {
+            let left = self.failures.load(Ordering::SeqCst);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::SeqCst);
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "transient glitch",
+                ));
+            }
+            Ok(())
+        }
+    }
+
+    impl Backend for EventuallyBackend {
+        fn write(&self, k: &str, d: &[u8]) -> io::Result<()> {
+            self.gate()?;
+            self.inner.write(k, d)
+        }
+        fn read(&self, k: &str) -> io::Result<Vec<u8>> {
+            self.gate()?;
+            self.inner.read(k)
+        }
+        fn delete(&self, k: &str) -> io::Result<()> {
+            self.gate()?;
+            self.inner.delete(k)
+        }
+        fn contains(&self, k: &str) -> bool {
+            self.inner.contains(k)
+        }
+        fn name(&self) -> &str {
+            "eventually"
+        }
+    }
+
+    /// Panics on reads, stores writes.
+    struct PanickingBackend(MemBackend);
+
+    impl Backend for PanickingBackend {
+        fn write(&self, k: &str, d: &[u8]) -> io::Result<()> {
+            self.0.write(k, d)
+        }
+        fn read(&self, _k: &str) -> io::Result<Vec<u8>> {
+            panic!("backend bug: read blew up");
+        }
+        fn delete(&self, k: &str) -> io::Result<()> {
+            self.0.delete(k)
+        }
+        fn contains(&self, k: &str) -> bool {
+            self.0.contains(k)
+        }
+        fn name(&self) -> &str {
+            "panicking"
+        }
     }
 
     #[test]
@@ -376,6 +662,8 @@ mod tests {
         let (r, w) = e.ops_completed();
         assert_eq!((r, w), (1, 1));
         assert_eq!(e.bytes_moved(), (3, 3));
+        assert_eq!(e.retries(), 0);
+        assert_eq!(e.op_errors(), 0);
     }
 
     #[test]
@@ -524,10 +812,213 @@ mod tests {
     }
 
     #[test]
+    fn drain_returns_immediately_when_idle() {
+        let e = engine(1);
+        e.drain();
+        assert_eq!(e.pending_ops(), 0);
+    }
+
+    #[test]
     fn busy_time_accumulates() {
         let backend = Arc::new(MemBackend::throttled("slow", 1e9, 1e6));
         let e = AioEngine::new(backend as Arc<dyn Backend>, AioConfig::default());
         e.submit_write("k", vec![0u8; 50_000]).wait().unwrap(); // 50 ms
         assert!(e.busy_seconds() > 0.03, "got {}", e.busy_seconds());
+    }
+
+    /// Satellite regression: failed writes used to inflate
+    /// `ops_completed`/`bytes_moved` because stats were bumped before the
+    /// backend ran. Completions must count successes only; failures go to
+    /// the error counter.
+    #[test]
+    fn failed_ops_count_errors_not_completions() {
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::NotFound)) as Arc<dyn Backend>,
+            AioConfig::default(),
+        );
+        let h = e.submit_write("k", vec![0u8; 64]);
+        assert!(!matches!(h.wait(), Ok(_)));
+        assert!(e.submit_read("k").wait().is_err());
+        assert_eq!(e.ops_completed(), (0, 0), "failures are not completions");
+        assert_eq!(e.bytes_moved(), (0, 0), "failed ops move no bytes");
+        assert_eq!(e.op_errors(), 2);
+        assert_eq!(e.retries(), 0, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn failed_write_reports_zero_bytes_on_handle() {
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::PermissionDenied)) as Arc<dyn Backend>,
+            AioConfig::default(),
+        );
+        let h = e.submit_write("k", vec![0u8; 64]);
+        while !h.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(h.bytes(), 0);
+        assert!(h.wait().is_err());
+    }
+
+    #[test]
+    fn failed_pooled_write_recycles_buffer_and_counts_error() {
+        use mlp_tensor::PinnedPool;
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::NotFound)) as Arc<dyn Backend>,
+            AioConfig::default(),
+        );
+        let pool = PinnedPool::new(1, 32);
+        let h = e.submit_write_pooled("k", pool.acquire(), 32);
+        assert!(h.wait().is_err());
+        assert_eq!(pool.outstanding(), 0, "buffer returned on write failure");
+        assert_eq!(e.ops_completed(), (0, 0));
+        assert_eq!(e.op_errors(), 1);
+    }
+
+    #[test]
+    fn failed_writes_hand_their_payload_back_for_redrive() {
+        use mlp_tensor::PinnedPool;
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::PermissionDenied)) as Arc<dyn Backend>,
+            AioConfig::default(),
+        );
+        // Owned write: the bytes come back intact.
+        let h = e.submit_write("k", vec![7u8; 16]);
+        let (err, payload) = h.wait_flush().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        match payload {
+            Some(ReclaimedWrite::Bytes(b)) => assert_eq!(b, vec![7u8; 16]),
+            _ => panic!("expected owned bytes back"),
+        }
+        // Pooled write: the staging buffer comes back intact and is still
+        // accounted as outstanding until the caller drops it.
+        let pool = PinnedPool::new(1, 16);
+        let mut buf = pool.acquire();
+        buf.buffer_mut().as_bytes_mut()[..4].copy_from_slice(&[1, 2, 3, 4]);
+        let h = e.submit_write_pooled("k", buf, 4);
+        let (_, payload) = h.wait_flush().unwrap_err();
+        let Some(ReclaimedWrite::Pooled(buf)) = payload else {
+            panic!("expected staging buffer back");
+        };
+        assert_eq!(&buf.as_bytes()[..4], &[1, 2, 3, 4]);
+        assert_eq!(pool.outstanding(), 1, "caller holds the reclaimed buffer");
+        drop(buf);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn successful_flush_wait_reports_ok() {
+        let e = engine(1);
+        e.submit_write("k", vec![1]).wait_flush().unwrap();
+        assert_eq!(e.ops_completed(), (0, 1));
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let e = AioEngine::new(
+            Arc::new(EventuallyBackend::new(2)) as Arc<dyn Backend>,
+            AioConfig {
+                workers: 1,
+                queue_depth: 8,
+                retry: fast_retry(4),
+            },
+        );
+        e.submit_write("k", vec![5u8; 16]).wait().unwrap();
+        assert_eq!(e.retries(), 2, "two glitches, two re-attempts");
+        assert_eq!(e.op_errors(), 0);
+        assert_eq!(e.ops_completed(), (0, 1));
+        assert_eq!(e.bytes_moved(), (0, 16));
+        assert_eq!(e.submit_read("k").wait().unwrap().unwrap(), vec![5u8; 16]);
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_with_context() {
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::Interrupted)) as Arc<dyn Backend>,
+            AioConfig {
+                workers: 1,
+                queue_depth: 8,
+                retry: fast_retry(3),
+            },
+        );
+        let err = e.submit_write("k", vec![1]).wait().unwrap_err();
+        assert!(
+            err.to_string().contains("giving up after 3 attempts"),
+            "{err}"
+        );
+        assert_eq!(
+            err.kind(),
+            io::ErrorKind::Interrupted,
+            "kind preserved for upstream classification"
+        );
+        assert_eq!(e.retries(), 2);
+        assert_eq!(e.op_errors(), 1);
+        assert_eq!(e.ops_completed(), (0, 0));
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let e = AioEngine::new(
+            Arc::new(FailingBackend(io::ErrorKind::InvalidData)) as Arc<dyn Backend>,
+            AioConfig {
+                workers: 1,
+                queue_depth: 8,
+                retry: fast_retry(5),
+            },
+        );
+        assert!(e.submit_read("k").wait().is_err());
+        assert_eq!(e.retries(), 0);
+        assert_eq!(e.op_errors(), 1);
+    }
+
+    /// Satellite regression: a backend panic used to leave the op's
+    /// completion slot empty forever, hanging `wait`/`wait_pooled` and
+    /// `drain`. The unwind must poison the op with an error instead.
+    #[test]
+    fn panicking_backend_poisons_waiters_instead_of_hanging() {
+        let e = AioEngine::new(
+            Arc::new(PanickingBackend(MemBackend::new("mem"))) as Arc<dyn Backend>,
+            AioConfig::default(),
+        );
+        e.submit_write("k", vec![1, 2]).wait().unwrap();
+        let err = e.submit_read("k").wait().unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert_eq!(e.op_errors(), 1);
+        // The worker survived the panic and keeps serving ops.
+        e.submit_write("k2", vec![3]).wait().unwrap();
+        e.drain();
+        assert_eq!(e.pending_ops(), 0, "drain not wedged by the panic");
+    }
+
+    #[test]
+    fn panicking_pooled_read_recycles_buffer() {
+        use mlp_tensor::PinnedPool;
+        let backend = PanickingBackend(MemBackend::new("mem"));
+        backend.write("k", &[9u8; 16]).unwrap();
+        let e = AioEngine::new(Arc::new(backend) as Arc<dyn Backend>, AioConfig::default());
+        let pool = PinnedPool::new(1, 16);
+        // MemBackend::read_into is overridden, so route through the
+        // default impl path: PanickingBackend has no read_into override,
+        // meaning the default falls back to the panicking `read`.
+        let err = e
+            .submit_read_pooled("k", pool.acquire(), 16)
+            .wait_pooled()
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert_eq!(pool.outstanding(), 0, "buffer freed during unwind");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(1),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_millis(5),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(5), "capped");
+        assert_eq!(p.backoff_for(30), Duration::from_millis(5), "capped");
     }
 }

@@ -9,6 +9,10 @@
 //! * [`engine::AioEngine`] — a per-tier engine with a submission queue, a
 //!   configurable worker pool, bounded in-flight operations, and
 //!   completion handles ([`engine::OpHandle`]).
+//! * [`engine::RetryPolicy`] — bounded exponential-backoff retry of
+//!   transient backend errors, executed inside the I/O workers; panicking
+//!   backends poison the op's completion handle instead of hanging
+//!   waiters.
 //! * [`lock::ProcessExclusiveLock`] — the paper's "process-exclusive
 //!   multi-thread-shared locking mechanism": all I/O threads of one worker
 //!   process share the tier while other worker processes are excluded
@@ -17,5 +21,5 @@
 pub mod engine;
 pub mod lock;
 
-pub use engine::{AioConfig, AioEngine, OpHandle};
+pub use engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite, RetryPolicy};
 pub use lock::ProcessExclusiveLock;

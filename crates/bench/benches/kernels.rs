@@ -120,6 +120,7 @@ fn aio(c: &mut Criterion) {
         AioConfig {
             workers: 4,
             queue_depth: 64,
+            ..AioConfig::default()
         },
     );
     let payload = vec![0xABu8; 1 << 20]; // 1 MiB objects

@@ -4,11 +4,12 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::Arc;
 
-use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
+use mlp_aio::engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite};
 use mlp_aio::lock::ProcessExclusiveLock;
 use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
 use mlp_optim::{SubgroupState, SubgroupStateMut};
 use mlp_storage::Backend;
+use mlp_tensor::convert;
 use mlp_tensor::pool::{PinnedPool, PooledBuffer};
 
 use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
@@ -28,16 +29,28 @@ pub struct SharedTier {
     pub lock: ProcessExclusiveLock,
     /// Eq. 1 weight (bytes/second or ratio component).
     pub weight: f64,
+    /// I/O engine configuration for this tier (worker count, queue depth,
+    /// transient-error retry policy).
+    pub aio: AioConfig,
 }
 
 impl SharedTier {
-    /// Creates a shared tier over `backend` with allocation `weight`.
+    /// Creates a shared tier over `backend` with allocation `weight` and
+    /// the default I/O configuration.
     pub fn new(backend: Arc<dyn Backend>, weight: f64) -> Self {
         SharedTier {
             backend,
             lock: ProcessExclusiveLock::new(),
             weight,
+            aio: AioConfig::default(),
         }
+    }
+
+    /// Overrides the tier's I/O configuration (e.g. a tighter or looser
+    /// [`mlp_aio::engine::RetryPolicy`] for a flaky tier).
+    pub fn with_aio(mut self, aio: AioConfig) -> Self {
+        self.aio = aio;
+        self
     }
 }
 
@@ -79,6 +92,15 @@ struct TierRt {
     engine: AioEngine,
     lock: ProcessExclusiveLock,
     weight: f64,
+}
+
+/// Resume state of a failed update phase: which subgroups already carry
+/// this iteration's gradient (their updated state survives host-resident
+/// or on a tier). A re-driven [`MlpFuncEngine::update`] skips re-applying
+/// those and only re-emits their FP16 image, so a retried iteration is
+/// bit-identical to one that never failed.
+struct IterProgress {
+    updated: Vec<bool>,
 }
 
 /// Result of one update phase.
@@ -123,6 +145,9 @@ pub struct MlpFuncEngine {
     inv_loss_scale: f32,
     /// Optional global gradient-norm clipping threshold.
     grad_clip_max_norm: Option<f64>,
+    /// Set when an update phase failed mid-flight; the next `update` call
+    /// re-drives the same iteration instead of starting a new one.
+    in_progress: Option<IterProgress>,
 }
 
 impl MlpFuncEngine {
@@ -144,7 +169,7 @@ impl MlpFuncEngine {
         let tiers: Vec<TierRt> = shared_tiers
             .iter()
             .map(|t| TierRt {
-                engine: AioEngine::new(Arc::clone(&t.backend), AioConfig::default()),
+                engine: AioEngine::new(Arc::clone(&t.backend), t.aio.clone()),
                 lock: t.lock.clone(),
                 weight: t.weight,
             })
@@ -183,6 +208,7 @@ impl MlpFuncEngine {
             iter: 0,
             inv_loss_scale: 1.0,
             grad_clip_max_norm: None,
+            in_progress: None,
         };
 
         // Initial population: synchronous writes (not part of any measured
@@ -260,6 +286,17 @@ impl MlpFuncEngine {
     /// single-pass fused kernel, and flushed from the same buffer; the
     /// legacy multi-pass path (deserialize → upscale → step → downscale →
     /// re-serialize over owned allocations) is kept for A/B benchmarking.
+    ///
+    /// # Failure semantics
+    ///
+    /// An I/O error (after the per-tier retry policy gave up) unwinds the
+    /// phase cleanly: every in-flight operation is drained, staging
+    /// buffers return to the pool, failed flushes reclaim their payload
+    /// back into the host cache, and the error is returned typed — no
+    /// panic, no hang. The engine stays re-drivable: calling `update`
+    /// again re-drives the *same* iteration (gradients are still
+    /// accumulated; subgroups already updated are skipped), producing the
+    /// exact result of an iteration that never failed.
     pub fn update(&mut self) -> io::Result<UpdateOutcome> {
         let m = self.subgroup_lens.len();
         let order = self.cfg.order.order(self.iter, m);
@@ -270,9 +307,22 @@ impl MlpFuncEngine {
         // Eq. 1 proportions; actual flush count depends on cache hits.
         let flush_targets = allocate_counts(m.max(1), &weights);
 
-        self.step += 1;
+        // Fresh iteration vs re-drive of a failed one: the step advances
+        // once per iteration, and the resume bitmap records which
+        // subgroups already carry this step's update.
+        let mut progress = match self.in_progress.take() {
+            Some(p) => p,
+            None => {
+                self.step += 1;
+                IterProgress {
+                    updated: vec![false; m],
+                }
+            }
+        };
+
         // Global gradient-norm clipping folds into the inverse loss scale
-        // for this update.
+        // for this update. The accumulator is untouched until the phase
+        // succeeds, so a re-drive recomputes the identical scale.
         let inv_scale = match self.grad_clip_max_norm {
             None => self.inv_loss_scale,
             Some(max_norm) => {
@@ -289,14 +339,27 @@ impl MlpFuncEngine {
             flushes: 0,
         };
 
-        if self.cfg.fused_update {
-            self.run_update_fused(&order, &flush_targets, inv_scale, &mut outcome)?;
+        let result = if self.cfg.fused_update {
+            self.run_update_fused(&order, &flush_targets, inv_scale, &mut outcome, &mut progress)
         } else {
-            self.run_update_multipass(&order, &flush_targets, inv_scale, &mut outcome)?;
+            self.run_update_multipass(&order, &flush_targets, inv_scale, &mut outcome, &mut progress)
+        };
+        match result {
+            Ok(()) => {
+                self.accum.reset();
+                self.iter += 1;
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.in_progress = Some(progress);
+                Err(e)
+            }
         }
-        self.accum.reset();
-        self.iter += 1;
-        Ok(outcome)
+    }
+
+    /// Whether a failed update phase is awaiting a re-drive.
+    pub fn update_in_progress(&self) -> bool {
+        self.in_progress.is_some()
     }
 
     /// Eq. 1 deficit-based flush tier choice.
@@ -311,6 +374,75 @@ impl MlpFuncEngine {
             .unwrap_or(0)
     }
 
+    /// A failed flush hands its payload back through
+    /// [`OpHandle::wait_flush`]; keep the subgroup host-resident so the
+    /// (possibly only) copy of its updated state survives for the
+    /// re-driven iteration. Only a backend panic loses the payload — then
+    /// the subgroup falls back to its last durable copy and its resume
+    /// bit is cleared so the re-drive re-applies the gradient.
+    fn reclaim_failed_flush(
+        &mut self,
+        fidx: usize,
+        payload: Option<ReclaimedWrite>,
+        progress: &mut IterProgress,
+    ) {
+        let n = self.subgroup_lens[fidx];
+        match payload {
+            Some(ReclaimedWrite::Pooled(buf)) => {
+                self.placement[fidx] = Placement::Host;
+                self.resident.push((fidx, Resident::Pooled { buf, n }));
+            }
+            Some(ReclaimedWrite::Bytes(bytes)) => {
+                let step = if progress.updated[fidx] {
+                    self.step
+                } else {
+                    self.step.saturating_sub(1)
+                };
+                self.placement[fidx] = Placement::Host;
+                self.resident
+                    .push((fidx, Resident::Owned(SubgroupState::from_bytes(&bytes, step))));
+            }
+            None => {
+                progress.updated[fidx] = false;
+            }
+        }
+    }
+
+    /// Drains every operation still in flight after a pass, successful or
+    /// not: pending reads settle (their staging buffers recycle), and
+    /// flushes settle with failed ones reclaiming their payload into the
+    /// host cache. Returns the first error encountered, preferring the
+    /// pass's own.
+    fn drain_inflight(
+        &mut self,
+        pass: io::Result<()>,
+        pending: VecDeque<(usize, Option<OpHandle>)>,
+        inflight_flush: HashMap<usize, OpHandle>,
+        progress: &mut IterProgress,
+    ) -> io::Result<()> {
+        let mut first_err = pass.err();
+        for (_, handle) in pending {
+            if let Some(h) = handle {
+                match h.wait_pooled() {
+                    Ok(_) => {} // buffer recycles on drop
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        for (fidx, h) in inflight_flush {
+            if let Err((e, payload)) = h.wait_flush() {
+                self.reclaim_failed_flush(fidx, payload, progress);
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     /// The fused zero-copy update loop: pooled reads fetch serialized
     /// state straight into recycled staging buffers, the fused kernel
     /// (unscale + moment update + step + FP16 emission, one sweep) mutates
@@ -322,21 +454,46 @@ impl MlpFuncEngine {
         flush_targets: &[usize],
         inv_scale: f32,
         outcome: &mut UpdateOutcome,
+        progress: &mut IterProgress,
+    ) -> io::Result<()> {
+        // Lookahead prefetch window and in-flight flushes live in the
+        // driver so that, pass outcome aside, everything submitted is
+        // drained before returning — nothing races a re-driven iteration
+        // and no staging buffer stays checked out.
+        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
+        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
+        let pass = self.fused_pass(
+            order,
+            flush_targets,
+            inv_scale,
+            outcome,
+            progress,
+            &mut pending,
+            &mut inflight_flush,
+        );
+        self.drain_inflight(pass, pending, inflight_flush, progress)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fused_pass(
+        &mut self,
+        order: &[usize],
+        flush_targets: &[usize],
+        inv_scale: f32,
+        outcome: &mut UpdateOutcome,
+        progress: &mut IterProgress,
+        pending: &mut VecDeque<(usize, Option<OpHandle>)>,
+        inflight_flush: &mut HashMap<usize, OpHandle>,
     ) -> io::Result<()> {
         let m = order.len();
         let retain_capacity = self.plan.retain_frames;
         let depth = self.plan.pipeline_frames;
         let mut flush_done = vec![0usize; self.tiers.len()];
-        // Lookahead prefetch: keep up to `pipeline_depth` reads in flight.
-        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
         let mut next_to_submit = 0usize;
-        // In-flight flushes keyed by subgroup: a read of the same subgroup
-        // later in this iteration (possible when an eviction precedes its
-        // visit) must fence on the flush, or it could overtake it on
-        // another I/O worker and fetch stale state.
-        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
 
         for _ in 0..m {
+            // Top up the prefetch window: keep up to `pipeline_depth`
+            // reads in flight.
             while next_to_submit < m && pending.len() < depth {
                 let idx = order[next_to_submit];
                 next_to_submit += 1;
@@ -346,8 +503,16 @@ impl MlpFuncEngine {
                     let Placement::Tier(t) = self.placement[idx] else {
                         unreachable!("non-resident subgroup must be on a tier")
                     };
+                    // Write-after-evict fence: a read of a subgroup whose
+                    // flush is still in flight could overtake the write on
+                    // another I/O worker and fetch stale state. On fence
+                    // failure the payload is reclaimed host-side and the
+                    // iteration unwinds.
                     if let Some(h) = inflight_flush.remove(&idx) {
-                        h.wait()?; // write-after-evict fence
+                        if let Err((e, payload)) = h.wait_flush() {
+                            self.reclaim_failed_flush(idx, payload, progress);
+                            return Err(e);
+                        }
                     }
                     let n = self.subgroup_lens[idx];
                     let buf = self.state_pool.acquire();
@@ -380,56 +545,76 @@ impl MlpFuncEngine {
                 Some(h) => {
                     outcome.fetches += 1;
                     let (buf, got) = h.wait_pooled()?;
-                    assert_eq!(got, n * 12, "short state read for subgroup {idx}");
+                    if got != n * 12 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "short state read for subgroup {idx}: got {got} of {} bytes",
+                                n * 12
+                            ),
+                        ));
+                    }
                     Resident::Pooled { buf, n }
                 }
             };
 
-            // Single fused pass over the staging buffer: FP16 unscale +
-            // moment update + parameter step + FP16 emission.
             let mut fp16 = vec![0u16; n];
-            match &mut res {
-                Resident::Pooled { buf, n } => {
-                    let mut view = SubgroupStateMut::from_buffer(buf.buffer_mut(), *n);
-                    view.apply_update_fused(
-                        &self.optimizer,
-                        self.step,
-                        self.accum.grads(idx),
-                        inv_scale,
-                        &mut fp16,
-                    );
+            if progress.updated[idx] {
+                // Re-driven iteration: this subgroup already carries the
+                // update — re-emit its FP16 image without touching state.
+                match &res {
+                    Resident::Pooled { buf, n } => convert::downscale_par(buf.as_f32(*n), &mut fp16),
+                    Resident::Owned(st) => fp16 = st.fp16_params(),
                 }
-                Resident::Owned(st) => {
-                    let mut view = SubgroupStateMut {
-                        params: &mut st.params,
-                        momentum: &mut st.momentum,
-                        variance: &mut st.variance,
-                    };
-                    view.apply_update_fused(
-                        &self.optimizer,
-                        self.step,
-                        self.accum.grads(idx),
-                        inv_scale,
-                        &mut fp16,
-                    );
-                    st.step = self.step;
+            } else {
+                // Single fused pass over the staging buffer: FP16 unscale
+                // + moment update + parameter step + FP16 emission.
+                match &mut res {
+                    Resident::Pooled { buf, n } => {
+                        let mut view = SubgroupStateMut::from_buffer(buf.buffer_mut(), *n);
+                        view.apply_update_fused(
+                            &self.optimizer,
+                            self.step,
+                            self.accum.grads(idx),
+                            inv_scale,
+                            &mut fp16,
+                        );
+                    }
+                    Resident::Owned(st) => {
+                        let mut view = SubgroupStateMut {
+                            params: &mut st.params,
+                            momentum: &mut st.momentum,
+                            variance: &mut st.variance,
+                        };
+                        view.apply_update_fused(
+                            &self.optimizer,
+                            self.step,
+                            self.accum.grads(idx),
+                            inv_scale,
+                            &mut fp16,
+                        );
+                        st.step = self.step;
+                    }
                 }
+                progress.updated[idx] = true;
             }
             outcome.fp16_params[idx] = fp16;
 
-            // LRU retention; evict the least-recently-updated subgroup
-            // when over budget. The evicted buffer is flushed as-is.
-            let mut to_flush: Option<(usize, Resident)> = None;
+            // LRU retention; evict least-recently-updated subgroups while
+            // over budget (reclaimed flush payloads of a failed iteration
+            // can leave more than one excess resident). The evicted
+            // buffer is flushed as-is.
+            let mut to_flush: Vec<(usize, Resident)> = Vec::new();
             if retain_capacity > 0 {
                 self.placement[idx] = Placement::Host;
                 self.resident.push((idx, res));
-                if self.resident.len() > retain_capacity {
-                    to_flush = Some(self.resident.remove(0));
+                while self.resident.len() > retain_capacity {
+                    to_flush.push(self.resident.remove(0));
                 }
             } else {
-                to_flush = Some((idx, res));
+                to_flush.push((idx, res));
             }
-            if let Some((fidx, fres)) = to_flush {
+            for (fidx, fres) in to_flush {
                 let tier = Self::pick_flush_tier(flush_targets, &flush_done);
                 flush_done[tier] += 1;
                 self.placement[fidx] = Placement::Tier(tier);
@@ -455,9 +640,7 @@ impl MlpFuncEngine {
             }
         }
 
-        for (_, h) in inflight_flush {
-            h.wait()?;
-        }
+        // The final flush barrier is the driver's unconditional drain.
         Ok(())
     }
 
@@ -472,14 +655,70 @@ impl MlpFuncEngine {
         flush_targets: &[usize],
         inv_scale: f32,
         outcome: &mut UpdateOutcome,
+        progress: &mut IterProgress,
+    ) -> io::Result<()> {
+        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
+        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
+        let pass = self.multipass_pass(
+            order,
+            flush_targets,
+            inv_scale,
+            outcome,
+            progress,
+            &mut pending,
+            &mut inflight_flush,
+        );
+        // Plain-read handles drain through `wait_pooled`-free paths: the
+        // generic drain only recycles pooled buffers for pooled ops, and
+        // settles every flush.
+        self.drain_inflight_multipass(pass, pending, inflight_flush, progress)
+    }
+
+    /// Multipass twin of [`MlpFuncEngine::drain_inflight`] (pending
+    /// handles are plain reads, not pooled ones).
+    fn drain_inflight_multipass(
+        &mut self,
+        pass: io::Result<()>,
+        pending: VecDeque<(usize, Option<OpHandle>)>,
+        inflight_flush: HashMap<usize, OpHandle>,
+        progress: &mut IterProgress,
+    ) -> io::Result<()> {
+        let mut first_err = pass.err();
+        for (_, handle) in pending {
+            if let Some(h) = handle {
+                if let Err(e) = h.wait() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        for (fidx, h) in inflight_flush {
+            if let Err((e, payload)) = h.wait_flush() {
+                self.reclaim_failed_flush(fidx, payload, progress);
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn multipass_pass(
+        &mut self,
+        order: &[usize],
+        flush_targets: &[usize],
+        inv_scale: f32,
+        outcome: &mut UpdateOutcome,
+        progress: &mut IterProgress,
+        pending: &mut VecDeque<(usize, Option<OpHandle>)>,
+        inflight_flush: &mut HashMap<usize, OpHandle>,
     ) -> io::Result<()> {
         let m = order.len();
         let retain_capacity = self.plan.retain_frames;
         let depth = self.plan.pipeline_frames;
         let mut flush_done = vec![0usize; self.tiers.len()];
-        let mut pending: VecDeque<(usize, Option<OpHandle>)> = VecDeque::new();
         let mut next_to_submit = 0usize;
-        let mut inflight_flush: HashMap<usize, OpHandle> = HashMap::new();
 
         for _ in 0..m {
             // Top up the prefetch window.
@@ -493,7 +732,11 @@ impl MlpFuncEngine {
                         unreachable!("non-resident subgroup must be on a tier")
                     };
                     if let Some(h) = inflight_flush.remove(&idx) {
-                        h.wait()?; // write-after-evict fence
+                        // Write-after-evict fence; reclaim on failure.
+                        if let Err((e, payload)) = h.wait_flush() {
+                            self.reclaim_failed_flush(idx, payload, progress);
+                            return Err(e);
+                        }
                     }
                     let handle = {
                         // Tier lock held across submission (the transfer
@@ -511,6 +754,15 @@ impl MlpFuncEngine {
             }
 
             let (idx, handle) = pending.pop_front().expect("window non-empty");
+            let n = self.subgroup_lens[idx];
+            // Content step: subgroups already updated by a failed attempt
+            // of this iteration carry `self.step`; everything else still
+            // carries the previous iteration's state.
+            let base_step = if progress.updated[idx] {
+                self.step
+            } else {
+                self.step.saturating_sub(1)
+            };
             let mut state = match handle {
                 None => {
                     outcome.cache_hits += 1;
@@ -522,29 +774,50 @@ impl MlpFuncEngine {
                     match self.resident.remove(pos).1 {
                         Resident::Owned(st) => st,
                         Resident::Pooled { buf, n } => {
-                            SubgroupState::from_bytes(&buf.as_bytes()[..n * 12], self.step - 1)
+                            SubgroupState::from_bytes(&buf.as_bytes()[..n * 12], base_step)
                         }
                     }
                 }
                 Some(h) => {
                     outcome.fetches += 1;
-                    let bytes = h.wait()?.expect("read returns data");
-                    SubgroupState::from_bytes(&bytes, self.step - 1)
+                    let bytes = h.wait()?.ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("read of subgroup {idx} returned no payload"),
+                        )
+                    })?;
+                    if bytes.len() != n * 12 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "short state read for subgroup {idx}: got {} of {} bytes",
+                                bytes.len(),
+                                n * 12
+                            ),
+                        ));
+                    }
+                    SubgroupState::from_bytes(&bytes, base_step)
                 }
             };
 
-            // Delayed in-place mixed-precision conversion + optimizer step.
-            state.apply_update_fp16_opt(&self.optimizer, self.accum.grads(idx), inv_scale);
+            // Delayed in-place mixed-precision conversion + optimizer
+            // step; a re-driven iteration skips subgroups that already
+            // carry the update and only re-emits their FP16 image.
+            if !progress.updated[idx] {
+                state.apply_update_fp16_opt(&self.optimizer, self.accum.grads(idx), inv_scale);
+                progress.updated[idx] = true;
+            }
             outcome.fp16_params[idx] = state.fp16_params();
 
             // LRU retention (mirrors the simulated engine): keep the
-            // updated subgroup resident; evict the least-recently-updated
-            // one when over budget.
-            let mut to_flush: Option<(usize, SubgroupState)> = None;
+            // updated subgroup resident; evict least-recently-updated
+            // ones while over budget (reclaimed flush payloads of a
+            // failed iteration can leave more than one excess resident).
+            let mut to_flush: Vec<(usize, SubgroupState)> = Vec::new();
             if retain_capacity > 0 {
                 self.placement[idx] = Placement::Host;
                 self.resident.push((idx, Resident::Owned(state)));
-                if self.resident.len() > retain_capacity {
+                while self.resident.len() > retain_capacity {
                     let (fidx, fres) = self.resident.remove(0);
                     let fstate = match fres {
                         Resident::Owned(st) => st,
@@ -552,12 +825,12 @@ impl MlpFuncEngine {
                             SubgroupState::from_bytes(&buf.as_bytes()[..n * 12], self.step)
                         }
                     };
-                    to_flush = Some((fidx, fstate));
+                    to_flush.push((fidx, fstate));
                 }
             } else {
-                to_flush = Some((idx, state));
+                to_flush.push((idx, state));
             }
-            if let Some((fidx, fstate)) = to_flush {
+            for (fidx, fstate) in to_flush {
                 let tier = Self::pick_flush_tier(flush_targets, &flush_done);
                 flush_done[tier] += 1;
                 self.placement[fidx] = Placement::Tier(tier);
@@ -576,9 +849,7 @@ impl MlpFuncEngine {
             }
         }
 
-        for (_, h) in inflight_flush {
-            h.wait()?;
-        }
+        // The final flush barrier is the driver's unconditional drain.
         Ok(())
     }
 
@@ -593,6 +864,30 @@ impl MlpFuncEngine {
             self.state_pool.high_water(),
             self.state_pool.capacity(),
         )
+    }
+
+    /// Staging buffers currently checked out of the state pool. In steady
+    /// state (no update in flight) this equals the number of pooled
+    /// host-resident subgroups — anything beyond that is a leak.
+    pub fn state_pool_outstanding(&self) -> usize {
+        self.state_pool.outstanding()
+    }
+
+    /// Host-resident subgroup count.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Transient-error re-attempts performed by the retry layer, summed
+    /// across all tier I/O engines.
+    pub fn io_retries(&self) -> u64 {
+        self.tiers.iter().map(|t| t.engine.retries()).sum()
+    }
+
+    /// Operations that ultimately failed (after retries), summed across
+    /// all tier I/O engines.
+    pub fn io_errors(&self) -> u64 {
+        self.tiers.iter().map(|t| t.engine.op_errors()).sum()
     }
 
     /// Gathers the FP32 master parameters of every subgroup (reads through
@@ -610,11 +905,17 @@ impl MlpFuncEngine {
                         .params_vec(),
                 ),
                 Placement::Tier(t) => {
-                    let bytes = self.tiers[t]
+                    let bytes = self
+                        .tiers[t]
                         .engine
                         .submit_read(&self.key(idx))
                         .wait()?
-                        .expect("read returns data");
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("read of subgroup {idx} returned no payload"),
+                            )
+                        })?;
                     out.push(SubgroupState::from_bytes(&bytes, self.step).params);
                 }
             }
@@ -654,11 +955,17 @@ impl MlpFuncEngine {
                 Placement::Tier(t) => {
                     let tier_key = self.key(idx);
                     if materialize {
-                        let bytes = self.tiers[t]
+                        let bytes = self
+                            .tiers[t]
                             .engine
                             .submit_read(&tier_key)
                             .wait()?
-                            .expect("read returns data");
+                            .ok_or_else(|| {
+                                io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("read of subgroup {idx} returned no payload"),
+                                )
+                            })?;
                         stats.copied_bytes += bytes.len() as u64;
                         target.write(&key, &bytes)?;
                         subgroups.push(SubgroupLocation::Target { key });
@@ -1032,6 +1339,93 @@ mod tests {
             restored.master_params().unwrap(),
             engine.master_params().unwrap()
         );
+    }
+
+    #[test]
+    fn permanent_fault_unwinds_cleanly_and_update_is_redrivable() {
+        use mlp_storage::{classify, ErrorClass, FaultConfig, FaultInjectBackend};
+        let adam = AdamConfig::default();
+        for fused in [true, false] {
+            // Twin engines: a fault-free reference, and one whose every
+            // tier is wrapped in a (initially disarmed) fault injector
+            // that fails every op permanently once armed.
+            let faults: Vec<Arc<FaultInjectBackend>> = (0..2)
+                .map(|i| {
+                    let inject = FaultInjectBackend::new(
+                        Arc::new(MemBackend::new(format!("mem{i}"))) as Arc<dyn Backend>,
+                        FaultConfig::permanent(11, 1.0),
+                    );
+                    inject.set_armed(false);
+                    Arc::new(inject)
+                })
+                .collect();
+            let faulty_tiers: Vec<SharedTier> = faults
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    SharedTier::new(Arc::clone(f) as Arc<dyn Backend>, (2 - i) as f64)
+                })
+                .collect();
+            // 6 host frames over pipeline depth 3 → 3 retained residents,
+            // so the failure exercises cache hits, fetches, and flush
+            // reclamation at once.
+            let mut cfg = EngineConfig::mlp_offload().with_host_frames(6);
+            cfg.fused_update = fused;
+            let mut reference =
+                MlpFuncEngine::new(cfg.clone(), adam, &tiers(2), 0, init_states(6, 24)).unwrap();
+            let mut engine =
+                MlpFuncEngine::new(cfg, adam, &faulty_tiers, 0, init_states(6, 24)).unwrap();
+
+            // Two clean iterations warm the host cache.
+            for it in 0..2 {
+                let grads = grads_for(6, 24, it as f32);
+                reference.accumulate_gradients(&grads);
+                reference.update().unwrap();
+                engine.accumulate_gradients(&grads);
+                engine.update().unwrap();
+            }
+
+            // The third iteration runs into permanently failing tiers: it
+            // must surface a typed permanent error — no panic, no hang —
+            // with every staging buffer back in the pool.
+            let grads = grads_for(6, 24, 2.0);
+            reference.accumulate_gradients(&grads);
+            let want = reference.update().unwrap();
+            engine.accumulate_gradients(&grads);
+            for f in &faults {
+                f.set_armed(true);
+            }
+            let err = engine.update().unwrap_err();
+            assert_eq!(classify(&err), ErrorClass::Permanent, "fused={fused}: {err}");
+            assert!(engine.update_in_progress());
+            assert!(engine.io_errors() > 0);
+            assert_eq!(
+                engine.state_pool_outstanding(),
+                engine
+                    .resident
+                    .iter()
+                    .filter(|(_, r)| matches!(r, Resident::Pooled { .. }))
+                    .count(),
+                "fused={fused}: only resident subgroups may hold staging buffers"
+            );
+
+            // Heal the tiers and re-drive the same iteration: the result
+            // must be bit-identical to the run that never failed.
+            for f in &faults {
+                f.set_armed(false);
+            }
+            let got = engine.update().unwrap();
+            assert!(!engine.update_in_progress());
+            assert_eq!(
+                got.fp16_params, want.fp16_params,
+                "fused={fused}: re-driven iteration diverged"
+            );
+            assert_eq!(
+                engine.master_params().unwrap(),
+                reference.master_params().unwrap(),
+                "fused={fused}: master state diverged after re-drive"
+            );
+        }
     }
 
     #[test]

@@ -220,6 +220,9 @@ impl DirBackend {
     }
 }
 
+/// Process-wide counter making concurrent tmp-file names unique.
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl Backend for DirBackend {
     fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
         let path = self.path_for(key)?;
@@ -228,16 +231,40 @@ impl Backend for DirBackend {
         }
         // Write-then-rename for atomic replacement, as a real offloading
         // engine must not expose torn subgroup state to a concurrent fetch.
-        let tmp = path.with_extension("tmp");
-        if self.fsync {
-            use std::io::Write;
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(data)?;
-            f.sync_all()?;
-        } else {
-            std::fs::write(&tmp, data)?;
+        // The tmp name keeps the full file name (`with_extension` mapped
+        // `model.bin` and `model.dat` to the same `model.tmp`) and is made
+        // unique per write (pid + counter), so two I/O workers writing the
+        // same key never interleave into one tmp file.
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("bad object key {key:?}"))
+            })?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = path.with_file_name(format!(
+            "{}.{}.{}.tmp",
+            file_name,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        let result = (|| {
+            if self.fsync {
+                use std::io::Write;
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(data)?;
+                f.sync_all()?;
+            } else {
+                std::fs::write(&tmp, data)?;
+            }
+            std::fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the target object (old version) is
+            // untouched either way.
+            let _ = std::fs::remove_file(&tmp);
         }
-        std::fs::rename(&tmp, &path)
+        result
     }
 
     fn read(&self, key: &str) -> io::Result<Vec<u8>> {
@@ -428,6 +455,70 @@ mod tests {
         assert!(b.write("../evil", &[1]).is_err());
         assert!(b.write("/abs", &[1]).is_err());
         assert!(b.write("a//b", &[1]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Regression test for the torn-write bug: `with_extension("tmp")`
+    /// mapped the dotted keys `model.bin` and `model.dat` to the *same*
+    /// `model.tmp`, and two workers writing one key shared one tmp file —
+    /// concurrent writes interleaved into the tmp and then renamed the
+    /// corrupt result into place.
+    #[test]
+    fn dir_backend_concurrent_dotted_key_writes_never_tear() {
+        let root = temp_root("torn");
+        let b = Arc::new(DirBackend::new("dir", &root).unwrap());
+        let keys = ["model.bin", "model.dat"];
+        let mut handles = Vec::new();
+        // Two writers per key, distinct fill patterns and lengths; every
+        // observable object must be exactly one writer's payload.
+        for (w, fill) in [(0u8, 0x11u8), (1, 0x22), (2, 0x33), (3, 0x44)] {
+            let b = Arc::clone(&b);
+            let key = keys[w as usize % 2].to_string();
+            handles.push(std::thread::spawn(move || {
+                let payload = vec![fill; 4096 + fill as usize];
+                for _ in 0..50 {
+                    b.write(&key, &payload).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for key in keys {
+            let got = b.read(key).unwrap();
+            let fill = got[0];
+            assert!(
+                matches!(fill, 0x11 | 0x22 | 0x33 | 0x44),
+                "unknown fill {fill:#x}"
+            );
+            assert_eq!(got.len(), 4096 + fill as usize, "torn length for {key}");
+            assert!(
+                got.iter().all(|&x| x == fill),
+                "interleaved payloads in {key}"
+            );
+        }
+        // No tmp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                name.ends_with(".tmp").then_some(name)
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "stale tmp files: {leftovers:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Distinct dotted keys must land in distinct files (they used to
+    /// collide on `model.tmp` mid-write).
+    #[test]
+    fn dir_backend_dotted_keys_are_distinct_objects() {
+        let root = temp_root("dotted");
+        let b = DirBackend::new("dir", &root).unwrap();
+        b.write("model.bin", &[1u8; 8]).unwrap();
+        b.write("model.dat", &[2u8; 9]).unwrap();
+        assert_eq!(b.read("model.bin").unwrap(), vec![1u8; 8]);
+        assert_eq!(b.read("model.dat").unwrap(), vec![2u8; 9]);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

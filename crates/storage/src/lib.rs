@@ -18,14 +18,19 @@
 //!   model (§3.3), for both real backends and simulated tiers.
 //! * [`integrity`] — CRC-32 framing that turns silent corruption of
 //!   offloaded state into an I/O error at fetch time.
+//! * [`fault`] — the transient/permanent error taxonomy shared with the
+//!   retry layer, and a deterministic (seeded) fault-injecting backend
+//!   decorator for exercising it.
 
 pub mod backend;
+pub mod fault;
 pub mod integrity;
 pub mod microbench;
 pub mod sim_tier;
 pub mod spec;
 
 pub use backend::{Backend, DirBackend, MemBackend};
+pub use fault::{classify, is_transient, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend};
 pub use integrity::ChecksummedBackend;
 pub use sim_tier::SimTier;
 pub use spec::{TierKind, TierSpec};

@@ -105,6 +105,12 @@ pub struct FuncTrainConfig {
     pub grad_clip: Option<f64>,
     /// Initial loss scale (dynamic scaling adapts from here).
     pub initial_loss_scale: f32,
+    /// Re-drive attempts when an I/O error still surfaces from a phase
+    /// after the engine-level [`mlp_offload::RetryPolicy`] gave up. The
+    /// engine unwinds failed phases cleanly, so re-calling continues the
+    /// same iteration bit-identically; 0 (the default) propagates the
+    /// first error.
+    pub iteration_retries: u32,
 }
 
 impl Default for FuncTrainConfig {
@@ -116,6 +122,7 @@ impl Default for FuncTrainConfig {
             subgroup_len: 32,
             grad_clip: Some(1.0),
             initial_loss_scale: 1024.0,
+            iteration_retries: 0,
         }
     }
 }
@@ -130,6 +137,29 @@ pub struct FuncTrainReport {
     pub final_loss_scale: f32,
     /// Total host-cache hits across iterations.
     pub cache_hits: usize,
+    /// Phase calls that failed and were re-driven to completion
+    /// (`iteration_retries` > 0).
+    pub redriven_phases: usize,
+}
+
+/// Calls `f` until it succeeds or `retries` re-drives are exhausted,
+/// counting the re-drives in `redriven`.
+fn with_redrives<T>(
+    retries: u32,
+    redriven: &mut usize,
+    mut f: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempts = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(_) if attempts < retries => {
+                attempts += 1;
+                *redriven += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Runs `iterations` of mixed-precision training of `task` with the
@@ -159,10 +189,18 @@ pub fn train(
         skipped_steps: 0,
         final_loss_scale: scaler.scale(),
         cache_hits: 0,
+        redriven_phases: 0,
     };
 
     for _ in 0..iterations {
-        let params: Vec<f32> = engine.master_params()?.into_iter().flatten().collect();
+        let params: Vec<f32> = with_redrives(
+            cfg.iteration_retries,
+            &mut report.redriven_phases,
+            || engine.master_params(),
+        )?
+        .into_iter()
+        .flatten()
+        .collect();
         report.losses.push(task.loss(&params));
         let grads = task.grad_fp16(&params, scaler.scale());
         // Overflow check on the scaled FP16 gradients (Inf after rounding).
@@ -179,7 +217,14 @@ pub fn train(
             .map(<[u16]>::to_vec)
             .collect();
         engine.accumulate_gradients(&per_sub);
-        let outcome = engine.update()?;
+        // A failed update unwinds cleanly and stays re-drivable: each
+        // re-call continues the *same* iteration (gradient accumulators
+        // untouched, durable subgroup updates not re-applied).
+        let outcome = with_redrives(
+            cfg.iteration_retries,
+            &mut report.redriven_phases,
+            || engine.update(),
+        )?;
         report.cache_hits += outcome.cache_hits;
     }
     report.final_loss_scale = scaler.scale();
@@ -262,6 +307,61 @@ mod tests {
         assert_eq!(fused.losses, multi.losses);
         assert_eq!(fused.skipped_steps, multi.skipped_steps);
         assert_eq!(fused.final_loss_scale, multi.final_loss_scale);
+    }
+
+    #[test]
+    fn training_rides_through_transient_faults_bit_identically() {
+        use mlp_offload::{AioConfig, RetryPolicy};
+        use mlp_storage::{FaultConfig, FaultInjectBackend};
+        use std::time::Duration;
+
+        let cfg = || FuncTrainConfig {
+            optimizer: OptimizerConfig::Adam(mlp_optim::AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            }),
+            // Should a fault still surface past the op-level retries, the
+            // trainer re-drives the phase instead of aborting the run.
+            iteration_retries: 64,
+            ..Default::default()
+        };
+        let task = RegressionTask::new(64, 48, 9);
+        let clean = train(&task, &tiers(), cfg(), 40).unwrap();
+
+        // The same run with every tier injecting 20% transient faults,
+        // absorbed by a fast-backoff retry policy inside the I/O workers.
+        let retry = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_micros(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_micros(200),
+        };
+        let mut injectors = Vec::new();
+        let mut faulty_tiers = Vec::new();
+        for (i, (name, bw)) in [("a", 2.0), ("b", 1.0)].iter().enumerate() {
+            let inject = Arc::new(FaultInjectBackend::new(
+                Arc::new(MemBackend::new(name)) as Arc<dyn Backend>,
+                FaultConfig::transient(101 + 101 * i as u64, 0.2),
+            ));
+            faulty_tiers.push(
+                SharedTier::new(Arc::clone(&inject) as Arc<dyn Backend>, *bw).with_aio(
+                    AioConfig {
+                        retry: retry.clone(),
+                        ..AioConfig::default()
+                    },
+                ),
+            );
+            injectors.push(inject);
+        }
+        let faulty = train(&task, &faulty_tiers, cfg(), 40).unwrap();
+
+        // Faults really fired…
+        let transients: u64 = injectors.iter().map(|i| i.counts().transient).sum();
+        assert!(transients > 0, "injection must have fired");
+        // …and the run is bit-identical to the fault-free one.
+        assert_eq!(clean.losses, faulty.losses);
+        assert_eq!(clean.skipped_steps, faulty.skipped_steps);
+        assert_eq!(clean.final_loss_scale, faulty.final_loss_scale);
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!    instead of MLP-Offload's 12 B/param), runs Adam on the CPU, flushes
 //!    the state back (discarding the gradients), in ascending subgroup
 //!    order every iteration, with no cross-iteration host caching.
+//!
+//! I/O failures (after the engine-level retry policy gave up) surface as
+//! typed errors with every in-flight operation drained and every staging
+//! buffer back in the pool; re-calling the failed phase re-drives it to
+//! the bit-identical result of a run that never failed (gradients stay in
+//! the host accumulators until the update succeeds, and a failed state
+//! flush leaves the previous object intact).
 
 use std::collections::VecDeque;
 use std::io;
@@ -32,7 +39,9 @@ pub struct Zero3UpdateOutcome {
     /// Subgroups fetched (always all of them: the baseline thrashes).
     pub fetches: usize,
     /// FP32 gradient bytes moved through storage this iteration
-    /// (flushed during backward + fetched during update).
+    /// (flushed during backward + fetched during update; a re-driven
+    /// iteration counts the re-moved bytes too — they really crossed the
+    /// tier twice).
     pub grad_bytes_through_storage: u64,
 }
 
@@ -45,7 +54,8 @@ pub struct Zero3FuncEngine {
     opt: OptimizerConfig,
     worker_id: usize,
     subgroup_lens: Vec<usize>,
-    /// FP32 gradient accumulation buffers (host side).
+    /// FP32 gradient accumulation buffers (host side). Kept intact until
+    /// the update phase succeeds, so a failed iteration can re-drive.
     grad_accum: Vec<Vec<f32>>,
     /// Staging buffers for pooled state/gradient fetches and flushes
     /// (fused path): sized for the largest subgroup's serialized state.
@@ -57,18 +67,38 @@ pub struct Zero3FuncEngine {
     step: u64,
     iter: u64,
     inv_loss_scale: f32,
-    grad_bytes_this_iter: u64,
+    /// Gradient bytes flushed by the last successful `flush_gradients`
+    /// (assigned, not accumulated: a re-driven flush is idempotent).
+    grad_flush_bytes: u64,
+    /// Gradient bytes fetched during the current update phase.
+    grad_fetch_bytes: u64,
+    /// Per-subgroup "this iteration's update is durable on storage" bits
+    /// of a failed update phase awaiting a re-drive.
+    in_progress: Option<Vec<bool>>,
 }
 
 impl Zero3FuncEngine {
-    /// Creates the engine and offloads the initial optimizer state.
+    /// Creates the engine (default I/O configuration) and offloads the
+    /// initial optimizer state.
     pub fn new(
         backend: Arc<dyn Backend>,
         adam: AdamConfig,
         worker_id: usize,
         initial: Vec<SubgroupState>,
     ) -> io::Result<Self> {
-        let engine = AioEngine::new(backend, AioConfig::default());
+        Self::with_aio(backend, adam, worker_id, initial, AioConfig::default())
+    }
+
+    /// Creates the engine with an explicit I/O configuration (worker
+    /// count, queue depth, transient-error retry policy).
+    pub fn with_aio(
+        backend: Arc<dyn Backend>,
+        adam: AdamConfig,
+        worker_id: usize,
+        initial: Vec<SubgroupState>,
+        aio: AioConfig,
+    ) -> io::Result<Self> {
+        let engine = AioEngine::new(backend, aio);
         let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
         let pipeline_depth = 3;
         // The fused path holds two pooled buffers per in-flight subgroup
@@ -90,7 +120,9 @@ impl Zero3FuncEngine {
             step: 0,
             iter: 0,
             inv_loss_scale: 1.0,
-            grad_bytes_this_iter: 0,
+            grad_flush_bytes: 0,
+            grad_fetch_bytes: 0,
+            in_progress: None,
         };
         let mut handles = Vec::new();
         for (idx, state) in initial.iter().enumerate() {
@@ -119,6 +151,27 @@ impl Zero3FuncEngine {
     /// Number of subgroups.
     pub fn num_subgroups(&self) -> usize {
         self.subgroup_lens.len()
+    }
+
+    /// Whether a failed update phase is awaiting a re-drive.
+    pub fn update_in_progress(&self) -> bool {
+        self.in_progress.is_some()
+    }
+
+    /// Transient-error re-attempts performed by the I/O retry layer.
+    pub fn io_retries(&self) -> u64 {
+        self.engine.retries()
+    }
+
+    /// Operations that ultimately failed (after retries).
+    pub fn io_errors(&self) -> u64 {
+        self.engine.op_errors()
+    }
+
+    /// Staging buffers currently checked out of the pool (0 between
+    /// phases — anything else is a leak).
+    pub fn pool_outstanding(&self) -> usize {
+        self.pool.outstanding()
     }
 
     fn state_key(&self, idx: usize) -> String {
@@ -153,11 +206,16 @@ impl Zero3FuncEngine {
     /// The fused configuration stages each flush through a recycled pooled
     /// buffer (acquisition blocks on pool exhaustion, bounding staging
     /// memory); the multi-pass configuration allocates per subgroup.
+    ///
+    /// On failure the accumulators are untouched — re-calling re-flushes
+    /// every subgroup's gradients (writes are idempotent), so a transient
+    /// outage costs one retry, not the iteration.
     pub fn flush_gradients(&mut self) -> io::Result<()> {
         let mut handles = Vec::new();
+        let mut total = 0u64;
         for (idx, g) in self.grad_accum.iter().enumerate() {
             let nbytes = g.len() * 4;
-            self.grad_bytes_this_iter += nbytes as u64;
+            total += nbytes as u64;
             if self.fused {
                 let mut buf = self.pool.acquire();
                 buf.buffer_mut().write_f32(0, g);
@@ -174,10 +232,21 @@ impl Zero3FuncEngine {
                 );
             }
         }
+        let mut first_err: Option<io::Error> = None;
         for h in handles {
-            h.wait()?;
+            // Reclaimed payloads just drop (staging buffers recycle): the
+            // gradients still live in the host accumulators.
+            if let Err((e, _payload)) = h.wait_flush() {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            None => {
+                self.grad_flush_bytes = total;
+                Ok(())
+            }
+            Some(e) => Err(e),
+        }
     }
 
     /// Runs one update phase in ascending subgroup order: fetch state +
@@ -188,33 +257,113 @@ impl Zero3FuncEngine {
     /// kernel over the state buffer in place, and flushes from the same
     /// buffer; the multi-pass configuration deserializes, scales, steps,
     /// downscales, and re-serializes with per-subgroup allocations.
+    ///
+    /// # Failure semantics
+    ///
+    /// An I/O error unwinds the phase cleanly (in-flight ops drained,
+    /// staging buffers recycled) and the engine stays re-drivable:
+    /// calling `update` again re-drives the *same* iteration. Subgroups
+    /// whose updated state already reached storage are only re-read for
+    /// their FP16 image; the rest re-run Adam from their (intact)
+    /// pre-update state and the untouched gradient accumulators.
     pub fn update(&mut self) -> io::Result<Zero3UpdateOutcome> {
         let m = self.subgroup_lens.len();
-        self.step += 1;
+        // Fresh iteration vs re-drive of a failed one.
+        let mut progress = match self.in_progress.take() {
+            Some(p) => p,
+            None => {
+                self.step += 1;
+                vec![false; m]
+            }
+        };
         let mut outcome = Zero3UpdateOutcome {
             fp16_params: vec![Vec::new(); m],
             fetches: 0,
             grad_bytes_through_storage: 0,
         };
-        if self.fused {
-            self.run_update_fused(&mut outcome)?;
+        let result = if self.fused {
+            self.run_update_fused(&mut outcome, &mut progress)
         } else {
-            self.run_update_multipass(&mut outcome)?;
+            self.run_update_multipass(&mut outcome, &mut progress)
+        };
+        match result {
+            Ok(()) => {
+                for buf in &mut self.grad_accum {
+                    buf.fill(0.0);
+                }
+                outcome.grad_bytes_through_storage = self.grad_flush_bytes + self.grad_fetch_bytes;
+                self.grad_flush_bytes = 0;
+                self.grad_fetch_bytes = 0;
+                self.iter += 1;
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.in_progress = Some(progress);
+                Err(e)
+            }
         }
-        for buf in &mut self.grad_accum {
-            buf.fill(0.0);
-        }
-        outcome.grad_bytes_through_storage = self.grad_bytes_this_iter;
-        self.grad_bytes_this_iter = 0;
-        self.iter += 1;
-        Ok(outcome)
     }
 
-    fn run_update_fused(&mut self, outcome: &mut Zero3UpdateOutcome) -> io::Result<()> {
+    /// Settles every operation still in flight after a pass: pending
+    /// fetches recycle their staging buffers, and each flush marks its
+    /// subgroup durable on success. A failed flush leaves the previous
+    /// object intact (its reclaimed payload just drops), so the subgroup
+    /// stays marked for a full re-update. Returns the first error,
+    /// preferring the pass's own.
+    fn drain_update(
+        pass: io::Result<()>,
+        pending: VecDeque<(usize, OpHandle, Option<OpHandle>)>,
+        flush_handles: Vec<(usize, OpHandle)>,
+        progress: &mut [bool],
+        pooled: bool,
+    ) -> io::Result<()> {
+        let mut first_err = pass.err();
+        for (_, state_h, grad_h) in pending {
+            for h in std::iter::once(state_h).chain(grad_h) {
+                let settled = if pooled {
+                    h.wait_pooled().map(|_| ()) // buffer recycles on drop
+                } else {
+                    h.wait().map(|_| ())
+                };
+                if let Err(e) = settled {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        for (idx, h) in flush_handles {
+            match h.wait_flush() {
+                Ok(()) => progress[idx] = true,
+                Err((e, _payload)) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn run_update_fused(
+        &mut self,
+        outcome: &mut Zero3UpdateOutcome,
+        progress: &mut [bool],
+    ) -> io::Result<()> {
+        let mut pending: VecDeque<(usize, OpHandle, Option<OpHandle>)> = VecDeque::new();
+        let mut flush_handles: Vec<(usize, OpHandle)> = Vec::new();
+        let pass = self.fused_pass(outcome, progress, &mut pending, &mut flush_handles);
+        Self::drain_update(pass, pending, flush_handles, progress, true)
+    }
+
+    fn fused_pass(
+        &mut self,
+        outcome: &mut Zero3UpdateOutcome,
+        progress: &mut [bool],
+        pending: &mut VecDeque<(usize, OpHandle, Option<OpHandle>)>,
+        flush_handles: &mut Vec<(usize, OpHandle)>,
+    ) -> io::Result<()> {
         let m = self.subgroup_lens.len();
-        let mut pending: VecDeque<(usize, OpHandle, OpHandle)> = VecDeque::new();
         let mut next_to_submit = 0usize;
-        let mut flush_handles = Vec::new();
 
         for _ in 0..m {
             while next_to_submit < m && pending.len() < self.pipeline_depth {
@@ -222,97 +371,220 @@ impl Zero3FuncEngine {
                 next_to_submit += 1;
                 let n = self.subgroup_lens[idx];
                 let state_buf = self.pool.acquire();
-                let grad_buf = self.pool.acquire();
-                let state_h = self
-                    .engine
-                    .submit_read_pooled(&self.state_key(idx), state_buf, n * 12);
-                let grad_h = self
-                    .engine
-                    .submit_read_pooled(&self.grad_key(idx), grad_buf, n * 4);
+                let state_h =
+                    self.engine
+                        .submit_read_pooled(&self.state_key(idx), state_buf, n * 12);
+                // Subgroups whose update is already durable (re-drive)
+                // need no gradient fetch.
+                let grad_h = if progress[idx] {
+                    None
+                } else {
+                    let grad_buf = self.pool.acquire();
+                    Some(
+                        self.engine
+                            .submit_read_pooled(&self.grad_key(idx), grad_buf, n * 4),
+                    )
+                };
                 pending.push_back((idx, state_h, grad_h));
             }
             let (idx, state_h, grad_h) = pending.pop_front().expect("window non-empty");
             let n = self.subgroup_lens[idx];
-            let (mut state_buf, state_n) = state_h.wait_pooled()?;
-            let (grad_buf, grad_n) = grad_h.wait_pooled()?;
-            assert_eq!(state_n, n * 12, "short state read");
-            assert_eq!(grad_n, n * 4, "short gradient read");
-            self.grad_bytes_this_iter += grad_n as u64;
+            // Settle this subgroup's paired fetches together so a failure
+            // of one cannot abandon the other's handle mid-flight.
+            let (mut state_buf, state_n) = match state_h.wait_pooled() {
+                Ok(v) => v,
+                Err(e) => {
+                    if let Some(gh) = grad_h {
+                        let _ = gh.wait_pooled();
+                    }
+                    return Err(e);
+                }
+            };
+            if state_n != n * 12 {
+                if let Some(gh) = grad_h {
+                    let _ = gh.wait_pooled();
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "short state read for subgroup {idx}: got {state_n} of {} bytes",
+                        n * 12
+                    ),
+                ));
+            }
             outcome.fetches += 1;
 
-            // Single fused pass: scale + Adam + FP16 emission, mutating
-            // the fetched state buffer in place.
-            let mut fp16 = vec![0u16; n];
-            {
-                let view = SubgroupStateMut::from_buffer(state_buf.buffer_mut(), n);
-                fused_update_f32(
-                    &self.opt,
-                    self.step,
-                    view.params,
-                    view.momentum,
-                    view.variance,
-                    grad_buf.as_f32(n),
-                    self.inv_loss_scale,
-                    &mut fp16,
-                );
+            match grad_h {
+                Some(gh) => {
+                    let (grad_buf, grad_n) = gh.wait_pooled()?;
+                    if grad_n != n * 4 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "short gradient read for subgroup {idx}: got {grad_n} of {} bytes",
+                                n * 4
+                            ),
+                        ));
+                    }
+                    self.grad_fetch_bytes += grad_n as u64;
+
+                    // Single fused pass: scale + Adam + FP16 emission,
+                    // mutating the fetched state buffer in place.
+                    let mut fp16 = vec![0u16; n];
+                    {
+                        let view = SubgroupStateMut::from_buffer(state_buf.buffer_mut(), n);
+                        fused_update_f32(
+                            &self.opt,
+                            self.step,
+                            view.params,
+                            view.momentum,
+                            view.variance,
+                            grad_buf.as_f32(n),
+                            self.inv_loss_scale,
+                            &mut fp16,
+                        );
+                    }
+                    outcome.fp16_params[idx] = fp16;
+                    drop(grad_buf); // back to the pool
+
+                    // Flush straight from the staging buffer; `progress`
+                    // is marked durable at drain, once acknowledged.
+                    flush_handles.push((
+                        idx,
+                        self.engine
+                            .submit_write_pooled(&self.state_key(idx), state_buf, n * 12),
+                    ));
+                }
+                None => {
+                    // Re-drive: storage already holds the updated state —
+                    // re-emit its FP16 image and recycle the buffer.
+                    let mut fp16 = vec![0u16; n];
+                    convert::downscale_par(state_buf.as_f32(n), &mut fp16);
+                    outcome.fp16_params[idx] = fp16;
+                }
             }
-            outcome.fp16_params[idx] = fp16;
-            drop(grad_buf); // back to the pool
-
-            // Flush straight from the staging buffer.
-            flush_handles.push(self.engine.submit_write_pooled(
-                &self.state_key(idx),
-                state_buf,
-                n * 12,
-            ));
         }
 
-        for h in flush_handles {
-            h.wait()?;
-        }
+        // The flush barrier is the caller's unconditional drain.
         Ok(())
     }
 
-    fn run_update_multipass(&mut self, outcome: &mut Zero3UpdateOutcome) -> io::Result<()> {
+    fn run_update_multipass(
+        &mut self,
+        outcome: &mut Zero3UpdateOutcome,
+        progress: &mut [bool],
+    ) -> io::Result<()> {
+        let mut pending: VecDeque<(usize, OpHandle, Option<OpHandle>)> = VecDeque::new();
+        let mut flush_handles: Vec<(usize, OpHandle)> = Vec::new();
+        let pass = self.multipass_pass(outcome, progress, &mut pending, &mut flush_handles);
+        Self::drain_update(pass, pending, flush_handles, progress, false)
+    }
+
+    fn multipass_pass(
+        &mut self,
+        outcome: &mut Zero3UpdateOutcome,
+        progress: &mut [bool],
+        pending: &mut VecDeque<(usize, OpHandle, Option<OpHandle>)>,
+        flush_handles: &mut Vec<(usize, OpHandle)>,
+    ) -> io::Result<()> {
         let m = self.subgroup_lens.len();
-        let mut pending: VecDeque<(usize, OpHandle, OpHandle)> = VecDeque::new();
         let mut next_to_submit = 0usize;
-        let mut flush_handles = Vec::new();
 
         for _ in 0..m {
             while next_to_submit < m && pending.len() < self.pipeline_depth {
                 let idx = next_to_submit;
                 next_to_submit += 1;
                 let state_h = self.engine.submit_read(&self.state_key(idx));
-                let grad_h = self.engine.submit_read(&self.grad_key(idx));
+                let grad_h = if progress[idx] {
+                    None
+                } else {
+                    Some(self.engine.submit_read(&self.grad_key(idx)))
+                };
                 pending.push_back((idx, state_h, grad_h));
             }
             let (idx, state_h, grad_h) = pending.pop_front().expect("window non-empty");
-            let state_bytes = state_h.wait()?.expect("state read returns data");
-            let grad_bytes = grad_h.wait()?.expect("grad read returns data");
-            self.grad_bytes_this_iter += grad_bytes.len() as u64;
+            let n = self.subgroup_lens[idx];
+            let state_bytes = match state_h.wait() {
+                Ok(b) => b.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("state read of subgroup {idx} returned no payload"),
+                    )
+                })?,
+                Err(e) => {
+                    if let Some(gh) = grad_h {
+                        let _ = gh.wait();
+                    }
+                    return Err(e);
+                }
+            };
+            if state_bytes.len() != n * 12 {
+                if let Some(gh) = grad_h {
+                    let _ = gh.wait();
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "short state read for subgroup {idx}: got {} of {} bytes",
+                        state_bytes.len(),
+                        n * 12
+                    ),
+                ));
+            }
             outcome.fetches += 1;
+            // Subgroups already durable carry this step's state; the rest
+            // still carry the previous iteration's.
+            let base_step = if progress[idx] {
+                self.step
+            } else {
+                self.step.saturating_sub(1)
+            };
+            let mut state = SubgroupState::from_bytes(&state_bytes, base_step);
 
-            let mut state = SubgroupState::from_bytes(&state_bytes, self.step - 1);
-            let grads = HostBuffer::from_bytes(grad_bytes);
-            let mut g = grads.read_f32(0, state.len());
-            if self.inv_loss_scale != 1.0 {
-                for x in &mut g {
-                    *x *= self.inv_loss_scale;
+            match grad_h {
+                Some(gh) => {
+                    let grad_bytes = gh.wait()?.ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("gradient read of subgroup {idx} returned no payload"),
+                        )
+                    })?;
+                    if grad_bytes.len() != n * 4 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "short gradient read for subgroup {idx}: got {} of {} bytes",
+                                grad_bytes.len(),
+                                n * 4
+                            ),
+                        ));
+                    }
+                    self.grad_fetch_bytes += grad_bytes.len() as u64;
+
+                    let grads = HostBuffer::from_bytes(grad_bytes);
+                    let mut g = grads.read_f32(0, state.len());
+                    if self.inv_loss_scale != 1.0 {
+                        for x in &mut g {
+                            *x *= self.inv_loss_scale;
+                        }
+                    }
+                    state.apply_update(&self.adam, &g);
+                    outcome.fp16_params[idx] = state.fp16_params();
+
+                    flush_handles.push((
+                        idx,
+                        self.engine
+                            .submit_write(&self.state_key(idx), state.to_buffer().into_bytes()),
+                    ));
+                }
+                None => {
+                    // Re-drive: state already updated on storage.
+                    outcome.fp16_params[idx] = state.fp16_params();
                 }
             }
-            state.apply_update(&self.adam, &g);
-            outcome.fp16_params[idx] = state.fp16_params();
-
-            flush_handles.push(
-                self.engine
-                    .submit_write(&self.state_key(idx), state.to_buffer().into_bytes()),
-            );
         }
 
-        for h in flush_handles {
-            h.wait()?;
-        }
+        // The flush barrier is the caller's unconditional drain.
         Ok(())
     }
 
@@ -324,7 +596,12 @@ impl Zero3FuncEngine {
                 .engine
                 .submit_read(&self.state_key(idx))
                 .wait()?
-                .expect("state read returns data");
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("state read of subgroup {idx} returned no payload"),
+                    )
+                })?;
             out.push(SubgroupState::from_bytes(&bytes, self.step).params);
         }
         Ok(out)
@@ -464,5 +741,79 @@ mod tests {
         b.update().unwrap();
 
         assert_eq!(a.master_params().unwrap(), b.master_params().unwrap());
+    }
+
+    #[test]
+    fn permanent_fault_unwinds_cleanly_and_phases_are_redrivable() {
+        use mlp_storage::{classify, ErrorClass, FaultConfig, FaultInjectBackend};
+        let adam = AdamConfig::default();
+        for fused in [true, false] {
+            let inject = FaultInjectBackend::new(
+                Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>,
+                FaultConfig::permanent(23, 1.0),
+            );
+            inject.set_armed(false);
+            let inject = Arc::new(inject);
+            let mut reference = Zero3FuncEngine::new(
+                Arc::new(MemBackend::new("ref")),
+                adam,
+                0,
+                init_states(4, 16),
+            )
+            .unwrap();
+            reference.set_fused(fused);
+            let mut engine = Zero3FuncEngine::new(
+                Arc::clone(&inject) as Arc<dyn Backend>,
+                adam,
+                0,
+                init_states(4, 16),
+            )
+            .unwrap();
+            engine.set_fused(fused);
+
+            // One clean iteration.
+            let grads = grads_for(4, 16, 0.0);
+            for e in [&mut reference, &mut engine] {
+                e.accumulate_gradients(&grads);
+                e.flush_gradients().unwrap();
+                e.update().unwrap();
+            }
+
+            // Second iteration: gradient flush fails against a dead tier,
+            // then succeeds once healed (accumulators are untouched).
+            let grads = grads_for(4, 16, 1.0);
+            reference.accumulate_gradients(&grads);
+            reference.flush_gradients().unwrap();
+            let want = reference.update().unwrap();
+
+            engine.accumulate_gradients(&grads);
+            inject.set_armed(true);
+            let err = engine.flush_gradients().unwrap_err();
+            assert_eq!(classify(&err), ErrorClass::Permanent, "fused={fused}");
+            assert_eq!(engine.pool_outstanding(), 0, "fused={fused}: no leak");
+            inject.set_armed(false);
+            engine.flush_gradients().unwrap();
+
+            // The update phase fails mid-iteration, unwinds, and re-drives
+            // to the bit-identical result.
+            inject.set_armed(true);
+            let err = engine.update().unwrap_err();
+            assert_eq!(classify(&err), ErrorClass::Permanent, "fused={fused}");
+            assert!(engine.update_in_progress());
+            assert_eq!(engine.pool_outstanding(), 0, "fused={fused}: no leak");
+            assert!(engine.io_errors() > 0);
+            inject.set_armed(false);
+            let got = engine.update().unwrap();
+            assert!(!engine.update_in_progress());
+            assert_eq!(
+                got.fp16_params, want.fp16_params,
+                "fused={fused}: re-driven iteration diverged"
+            );
+            assert_eq!(
+                engine.master_params().unwrap(),
+                reference.master_params().unwrap(),
+                "fused={fused}"
+            );
+        }
     }
 }

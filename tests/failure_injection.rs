@@ -1,16 +1,36 @@
 //! Failure injection: storage errors must surface as `Err`, never as
 //! silent corruption, and the engines must stay usable on independent keys
 //! after a failed operation.
+//!
+//! The seeded [`FaultInjectBackend`] tests are the acceptance gate for the
+//! failure-semantics layer: transient faults on every tier must be
+//! invisible to training (bit-identical results, retry counters moving),
+//! and permanent faults must surface as typed errors that unwind cleanly
+//! and leave the engines re-drivable to the bit-identical result.
 
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use mlp_offload_suite::mlp_aio::{AioConfig, RetryPolicy};
 use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
 use mlp_offload_suite::mlp_offload::EngineConfig;
 use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
-use mlp_offload_suite::mlp_storage::{Backend, MemBackend};
+use mlp_offload_suite::mlp_storage::{
+    classify, Backend, ErrorClass, FaultConfig, FaultInjectBackend, MemBackend,
+};
 use mlp_offload_suite::mlp_zero3::Zero3FuncEngine;
+
+/// Fast-backoff retry policy for tests (real sleeps stay in microseconds).
+fn test_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_micros(10),
+        backoff_multiplier: 2.0,
+        max_backoff: Duration::from_micros(200),
+    }
+}
 
 /// Backend wrapper that fails reads after a countdown.
 struct FlakyBackend {
@@ -155,4 +175,170 @@ fn engine_composes_with_checksummed_backend() {
         Err(e) => e,
     };
     assert!(err.to_string().contains("checksum"), "{err}");
+}
+
+#[test]
+fn transient_faults_on_every_tier_are_invisible_to_training() {
+    // 20% seeded transient faults on both tiers; the in-worker retry
+    // layer must absorb them so a multi-iteration run stays bit-identical
+    // to a fault-free twin.
+    let adam = AdamConfig::default();
+    let cfg = EngineConfig::mlp_offload().with_host_frames(8);
+
+    let clean_tiers = vec![
+        SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::new(MemBackend::new("b")) as Arc<dyn Backend>, 1.0),
+    ];
+    let mut want =
+        MlpFuncEngine::new(cfg.clone(), adam, &clean_tiers, 0, states(6, 16)).unwrap();
+
+    let injectors: Vec<Arc<FaultInjectBackend>> = [("a", 31u64), ("b", 63u64)]
+        .iter()
+        .map(|(name, seed)| {
+            Arc::new(FaultInjectBackend::new(
+                Arc::new(MemBackend::new(name)) as Arc<dyn Backend>,
+                FaultConfig::transient(*seed, 0.2),
+            ))
+        })
+        .collect();
+    let faulty_tiers: Vec<SharedTier> = injectors
+        .iter()
+        .zip([2.0, 1.0])
+        .map(|(inject, bw)| {
+            SharedTier::new(Arc::clone(inject) as Arc<dyn Backend>, bw).with_aio(AioConfig {
+                retry: test_retry(8),
+                ..AioConfig::default()
+            })
+        })
+        .collect();
+    let mut engine = MlpFuncEngine::new(cfg, adam, &faulty_tiers, 0, states(6, 16)).unwrap();
+
+    for it in 0..4 {
+        let g = grads(6, 16);
+        want.accumulate_gradients(&g);
+        engine.accumulate_gradients(&g);
+        let w = want.update().unwrap();
+        let o = engine.update().unwrap();
+        assert_eq!(o.fp16_params, w.fp16_params, "iteration {it} diverged");
+    }
+    assert_eq!(
+        engine.master_params().unwrap(),
+        want.master_params().unwrap()
+    );
+
+    // The faults really fired and the retry layer really moved.
+    let fired: u64 = injectors.iter().map(|i| i.counts().transient).sum();
+    assert!(fired > 0, "injection must have fired");
+    assert!(engine.io_retries() > 0, "retries must have been recorded");
+    // Identical residency as the clean twin: nothing leaked from the pool.
+    assert_eq!(
+        engine.state_pool_outstanding(),
+        want.state_pool_outstanding()
+    );
+    assert_eq!(engine.resident_count(), want.resident_count());
+}
+
+#[test]
+fn permanent_fault_on_one_tier_surfaces_typed_and_engine_redrives() {
+    // One healthy tier, one that goes permanently dead mid-run: `update`
+    // must return a typed permanent error without hanging or leaking, and
+    // once the tier heals, re-driving the same iteration must converge to
+    // the bit-identical fault-free result.
+    let adam = AdamConfig::default();
+    let cfg = EngineConfig::mlp_offload().with_host_frames(8);
+
+    let clean_tiers = vec![
+        SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::new(MemBackend::new("b")) as Arc<dyn Backend>, 1.0),
+    ];
+    let mut want =
+        MlpFuncEngine::new(cfg.clone(), adam, &clean_tiers, 0, states(6, 16)).unwrap();
+
+    let inject = FaultInjectBackend::new(
+        Arc::new(MemBackend::new("b")) as Arc<dyn Backend>,
+        FaultConfig::permanent(7, 1.0),
+    );
+    inject.set_armed(false); // healthy during initial offload
+    let inject = Arc::new(inject);
+    let faulty_tiers = vec![
+        SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::clone(&inject) as Arc<dyn Backend>, 1.0),
+    ];
+    let mut engine = MlpFuncEngine::new(cfg, adam, &faulty_tiers, 0, states(6, 16)).unwrap();
+
+    // Two clean iterations to warm the cache and spread placements.
+    for _ in 0..2 {
+        let g = grads(6, 16);
+        want.accumulate_gradients(&g);
+        engine.accumulate_gradients(&g);
+        want.update().unwrap();
+        engine.update().unwrap();
+    }
+
+    // Third iteration: the second tier dies.
+    let g = grads(6, 16);
+    want.accumulate_gradients(&g);
+    engine.accumulate_gradients(&g);
+    let w = want.update().unwrap();
+    inject.set_armed(true);
+    let err = engine.update().unwrap_err();
+    assert_eq!(classify(&err), ErrorClass::Permanent);
+    assert!(engine.update_in_progress(), "iteration must stay resumable");
+    assert!(engine.io_errors() > 0);
+
+    // Tier heals: the re-driven iteration matches the fault-free twin.
+    inject.set_armed(false);
+    let o = engine.update().unwrap();
+    assert!(!engine.update_in_progress());
+    assert_eq!(o.fp16_params, w.fp16_params, "re-driven iteration diverged");
+    assert_eq!(
+        engine.master_params().unwrap(),
+        want.master_params().unwrap()
+    );
+}
+
+#[test]
+fn zero3_rides_through_transient_faults_bit_identically() {
+    let adam = AdamConfig::default();
+    let mut want = Zero3FuncEngine::new(
+        Arc::new(MemBackend::new("ref")) as Arc<dyn Backend>,
+        adam,
+        0,
+        states(4, 16),
+    )
+    .unwrap();
+
+    let inject = Arc::new(FaultInjectBackend::new(
+        Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>,
+        FaultConfig::transient(19, 0.2),
+    ));
+    let mut engine = Zero3FuncEngine::with_aio(
+        Arc::clone(&inject) as Arc<dyn Backend>,
+        adam,
+        0,
+        states(4, 16),
+        AioConfig {
+            retry: test_retry(8),
+            ..AioConfig::default()
+        },
+    )
+    .unwrap();
+
+    for _ in 0..3 {
+        let g = grads(4, 16);
+        for e in [&mut want, &mut engine] {
+            e.accumulate_gradients(&g);
+            e.flush_gradients().unwrap();
+        }
+        let w = want.update().unwrap();
+        let o = engine.update().unwrap();
+        assert_eq!(o.fp16_params, w.fp16_params);
+    }
+    assert_eq!(
+        engine.master_params().unwrap(),
+        want.master_params().unwrap()
+    );
+    assert!(inject.counts().transient > 0, "injection must have fired");
+    assert!(engine.io_retries() > 0);
+    assert_eq!(engine.pool_outstanding(), 0, "staging buffers leaked");
 }
