@@ -1,0 +1,199 @@
+//! The engine's completion/drain protocol, extracted onto the
+//! [`mlp_sync`] facade so the exact code the workers run is also the code
+//! the model checker explores (`tests/loom_completion.rs`).
+//!
+//! Two pieces:
+//!
+//! * [`CompletionSlot`] — single-producer completion hand-off: the worker
+//!   publishes exactly one result, any number of waiters block until it
+//!   lands, one of them consumes it. The PR 2 stuck-waiter bug lived
+//!   here: a worker path that skipped the publish left `take_blocking`
+//!   parked forever. The loom suite proves (a) publish-before-wait and
+//!   wait-before-publish orders both terminate, and (b) the checker still
+//!   *detects* the skipped-publish variant as a deadlock.
+//! * [`PendingGauge`] — the submitted-but-not-completed count behind
+//!   [`crate::AioEngine::drain`]. Invariant: every `inc` is matched by
+//!   exactly one `dec`, and `drain` returns only once the count reaches
+//!   zero with no completion unaccounted (no lost `all_done` wakeup).
+
+use mlp_sync::{Condvar, Mutex};
+
+/// A write-once, take-once completion slot with blocking consumers.
+///
+/// Ordering contract: the publisher's writes to the payload happen-before
+/// the consumer's reads because both run under the slot's mutex; no
+/// additional fencing is required of callers.
+pub struct CompletionSlot<T> {
+    value: Mutex<Option<T>>,
+    done: Condvar,
+}
+
+impl<T> CompletionSlot<T> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        CompletionSlot {
+            value: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publishes the result and wakes every waiter. The first publication
+    /// wins: a second one is dropped, so an unwind-path poisoner racing a
+    /// late success cannot overwrite the result a waiter is about to
+    /// consume. Returns whether this call was the winning publication.
+    pub fn publish(&self, value: T) -> bool {
+        let mut guard = self.value.lock();
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(value);
+        // Notify while still holding the lock: a waiter observing the
+        // condvar must find the value already set (no lost wakeup window).
+        self.done.notify_all();
+        true
+    }
+
+    /// Blocks until a value is published, then consumes it. At most one
+    /// caller gets the value; concurrent callers after it keep waiting —
+    /// the engine hands each `OpHandle` to a single waiter by move, so
+    /// that cannot arise there.
+    pub fn take_blocking(&self) -> T {
+        let mut guard = self.value.lock();
+        loop {
+            match guard.take() {
+                Some(v) => return v,
+                None => self.done.wait(&mut guard),
+            }
+        }
+    }
+
+    /// Whether a value is currently published (and not yet consumed).
+    pub fn is_set(&self) -> bool {
+        self.value.lock().is_some()
+    }
+}
+
+impl<T> Default for CompletionSlot<T> {
+    fn default() -> Self {
+        CompletionSlot::new()
+    }
+}
+
+/// Count of submitted-but-uncompleted operations with a blocking
+/// completion barrier.
+pub struct PendingGauge {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl PendingGauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        PendingGauge {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Records a submission. Called before the op is enqueued, so the
+    /// count can only ever over-approximate completions still owed —
+    /// `drain` may wait a moment longer, never return early.
+    pub fn inc(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    /// Records a completion; wakes drainers when the count hits zero.
+    /// The notify happens under the mutex, pairing with the re-check loop
+    /// in [`PendingGauge::drain`]: a drainer cannot park between reading
+    /// a non-zero count and the notification for its decrement.
+    pub fn dec(&self) {
+        let mut pending = self.pending.lock();
+        *pending = pending.saturating_sub(1);
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Current submitted-but-uncompleted count.
+    pub fn current(&self) -> usize {
+        *self.pending.lock()
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn drain(&self) {
+        let mut pending = self.pending.lock();
+        while *pending > 0 {
+            self.all_done.wait(&mut pending);
+        }
+    }
+}
+
+impl Default for PendingGauge {
+    fn default() -> Self {
+        PendingGauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_then_take() {
+        let slot = CompletionSlot::new();
+        assert!(!slot.is_set());
+        assert!(slot.publish(7));
+        assert!(slot.is_set());
+        assert_eq!(slot.take_blocking(), 7);
+        assert!(!slot.is_set());
+    }
+
+    #[test]
+    fn first_publication_wins() {
+        let slot = CompletionSlot::new();
+        assert!(slot.publish(1));
+        assert!(!slot.publish(2));
+        assert_eq!(slot.take_blocking(), 1);
+    }
+
+    #[test]
+    fn take_blocks_until_published() {
+        let slot = Arc::new(CompletionSlot::new());
+        let s2 = Arc::clone(&slot);
+        let waiter = std::thread::spawn(move || s2.take_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(slot.publish(42));
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn gauge_counts_and_drains() {
+        let g = PendingGauge::new();
+        g.inc();
+        g.inc();
+        assert_eq!(g.current(), 2);
+        g.dec();
+        g.dec();
+        assert_eq!(g.current(), 0);
+        g.drain(); // already zero: returns immediately
+    }
+
+    #[test]
+    fn drain_waits_for_outstanding_completions() {
+        let g = Arc::new(PendingGauge::new());
+        for _ in 0..4 {
+            g.inc();
+        }
+        let g2 = Arc::clone(&g);
+        let finisher = std::thread::spawn(move || {
+            for _ in 0..4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                g2.dec();
+            }
+        });
+        g.drain();
+        assert_eq!(g.current(), 0);
+        finisher.join().unwrap();
+    }
+}

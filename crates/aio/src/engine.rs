@@ -11,16 +11,17 @@
 
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use mlp_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use mlp_sync::{thread, Arc, Mutex};
 
 use mlp_storage::fault::is_transient;
 use mlp_storage::Backend;
 use mlp_tensor::PooledBuffer;
+
+use crate::completion::{CompletionSlot, PendingGauge};
 
 /// Bounded-attempt exponential-backoff retry of transient I/O errors,
 /// executed inside the I/O workers around every backend call.
@@ -76,8 +77,9 @@ impl RetryPolicy {
             match f() {
                 Ok(v) => return Ok(v),
                 Err(e) if attempt < self.max_attempts && is_transient(&e) => {
+                    // relaxed-ok: monotonic retry counter, read only for reporting
                     retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(self.backoff_for(attempt));
+                    thread::sleep(self.backoff_for(attempt));
                     attempt += 1;
                 }
                 Err(e) if attempt > 1 => {
@@ -154,6 +156,17 @@ pub enum ReclaimedWrite {
     Pooled(PooledBuffer),
 }
 
+impl std::fmt::Debug for ReclaimedWrite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReclaimedWrite::Bytes(b) => write!(f, "ReclaimedWrite::Bytes({} bytes)", b.len()),
+            ReclaimedWrite::Pooled(buf) => {
+                write!(f, "ReclaimedWrite::Pooled({} bytes)", buf.len())
+            }
+        }
+    }
+}
+
 struct Op {
     key: String,
     kind: OpKind,
@@ -161,8 +174,9 @@ struct Op {
 }
 
 struct OpState {
-    result: Mutex<Option<io::Result<OpOutput>>>,
-    done: Condvar,
+    /// Single-producer completion hand-off; the publish/consume protocol
+    /// (and its model-checked invariants) live in [`crate::completion`].
+    result: CompletionSlot<io::Result<OpOutput>>,
     bytes: AtomicUsize,
     /// Failed-write payload, set by the worker before the error is
     /// published. Dropped (pooled buffers recycle) if the waiter does not
@@ -172,11 +186,7 @@ struct OpState {
 
 impl OpState {
     fn take_result(&self) -> io::Result<OpOutput> {
-        let mut guard = self.result.lock();
-        while guard.is_none() {
-            self.done.wait(&mut guard);
-        }
-        guard.take().expect("completion present")
+        self.result.take_blocking()
     }
 }
 
@@ -199,6 +209,8 @@ impl OpHandle {
         match self.state.take_result()? {
             OpOutput::None => Ok(None),
             OpOutput::Bytes(b) => Ok(Some(b)),
+            // lint:allow(hot-path-panic): documented API-misuse panic (see
+            // the `# Panics` section), not an I/O failure path
             OpOutput::Pooled(..) => panic!("pooled read completion requires wait_pooled"),
         }
     }
@@ -230,22 +242,35 @@ impl OpHandle {
     pub fn wait_pooled(self) -> io::Result<(PooledBuffer, usize)> {
         match self.state.take_result()? {
             OpOutput::Pooled(buf, len) => Ok((buf, len)),
+            // lint:allow(hot-path-panic): documented API-misuse panic (see
+            // the `# Panics` section), not an I/O failure path
             _ => panic!("wait_pooled on a non-pooled operation"),
         }
     }
 
     /// Whether the operation has completed (result not yet consumed).
     pub fn is_done(&self) -> bool {
-        self.state.result.lock().is_some()
+        self.state.result.is_set()
     }
 
     /// Bytes moved by the operation (available after successful
     /// completion; stays 0 for failed ops).
+    ///
+    /// Acquire pairs with the worker's Release store: a caller that
+    /// observes the count also observes every write the operation made
+    /// before publishing it (this is read while the op may still be in
+    /// flight, outside any lock).
     pub fn bytes(&self) -> usize {
-        self.state.bytes.load(Ordering::Relaxed)
+        self.state.bytes.load(Ordering::Acquire)
     }
 }
 
+/// Engine counters. Every atomic here is a pure monotonic statistic —
+/// incremented by workers, read by reporting accessors, never used to
+/// publish other state — which is why `Relaxed` is sound for all of them
+/// (each site carries a `relaxed-ok` annotation the workspace lint
+/// checks). The pending-op count is *not* a statistic (drain blocks on
+/// it), so it lives in the mutex-guarded [`PendingGauge`] instead.
 #[derive(Default)]
 struct Stats {
     reads: AtomicU64,
@@ -255,10 +280,9 @@ struct Stats {
     retries: AtomicU64,
     errors: AtomicU64,
     busy_nanos: AtomicU64,
-    /// Submitted-but-not-completed count, guarded by a mutex so
-    /// [`AioEngine::drain`] can block on `all_done` instead of spinning.
-    pending: Mutex<usize>,
-    all_done: Condvar,
+    /// Submitted-but-not-completed count with the `drain` barrier; see
+    /// [`crate::completion::PendingGauge`] for the protocol.
+    pending: PendingGauge,
 }
 
 /// Executes one operation against the backend under the retry policy.
@@ -279,10 +303,14 @@ fn execute_op(
         OpKind::Write(data) => {
             match retry.run(&stats.retries, || backend.write(key, &data)) {
                 Ok(()) => {
-                    state.bytes.store(data.len(), Ordering::Relaxed);
+                    // Release: paired with the Acquire in OpHandle::bytes,
+                    // which may read this outside the completion mutex.
+                    state.bytes.store(data.len(), Ordering::Release);
+                    // relaxed-ok: monotonic stats counter, read only for reporting
                     stats.writes.fetch_add(1, Ordering::Relaxed);
                     stats
                         .write_bytes
+                        // relaxed-ok: monotonic stats counter, read only for reporting
                         .fetch_add(data.len() as u64, Ordering::Relaxed);
                     Ok(OpOutput::None)
                 }
@@ -299,8 +327,11 @@ fn execute_op(
             }) {
                 Ok(()) => {
                     drop(buf); // staging buffer back to its pool
-                    state.bytes.store(len, Ordering::Relaxed);
+                    // Release: paired with the Acquire in OpHandle::bytes.
+                    state.bytes.store(len, Ordering::Release);
+                    // relaxed-ok: monotonic stats counter, read only for reporting
                     stats.writes.fetch_add(1, Ordering::Relaxed);
+                    // relaxed-ok: monotonic stats counter, read only for reporting
                     stats.write_bytes.fetch_add(len as u64, Ordering::Relaxed);
                     Ok(OpOutput::None)
                 }
@@ -312,10 +343,13 @@ fn execute_op(
         }
         OpKind::Read => {
             let data = retry.run(&stats.retries, || backend.read(key))?;
-            state.bytes.store(data.len(), Ordering::Relaxed);
+            // Release: paired with the Acquire in OpHandle::bytes.
+            state.bytes.store(data.len(), Ordering::Release);
+            // relaxed-ok: monotonic stats counter, read only for reporting
             stats.reads.fetch_add(1, Ordering::Relaxed);
             stats
                 .read_bytes
+                // relaxed-ok: monotonic stats counter, read only for reporting
                 .fetch_add(data.len() as u64, Ordering::Relaxed);
             Ok(OpOutput::Bytes(data))
         }
@@ -326,8 +360,11 @@ fn execute_op(
             let n = retry.run(&stats.retries, || {
                 backend.read_into(key, &mut buf.buffer_mut().as_bytes_mut()[..len])
             })?;
-            state.bytes.store(n, Ordering::Relaxed);
+            // Release: paired with the Acquire in OpHandle::bytes.
+            state.bytes.store(n, Ordering::Release);
+            // relaxed-ok: monotonic stats counter, read only for reporting
             stats.reads.fetch_add(1, Ordering::Relaxed);
+            // relaxed-ok: monotonic stats counter, read only for reporting
             stats.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
             Ok(OpOutput::Pooled(buf, n))
         }
@@ -344,7 +381,7 @@ fn execute_op(
 /// all already-submitted operations complete first.
 pub struct AioEngine {
     tx: Option<Sender<Op>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     stats: Arc<Stats>,
     backend_name: String,
 }
@@ -363,7 +400,7 @@ impl AioEngine {
                 let backend = Arc::clone(&backend);
                 let stats = Arc::clone(&stats);
                 let retry = config.retry.clone();
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("aio-{}-{}", backend_name, i))
                     .spawn(move || {
                         while let Ok(op) = rx.recv() {
@@ -383,20 +420,22 @@ impl AioEngine {
                                 )))
                             });
                             if result.is_err() {
+                                // relaxed-ok: monotonic stats counter, read only for reporting
                                 stats.errors.fetch_add(1, Ordering::Relaxed);
                             }
                             stats
                                 .busy_nanos
+                                // relaxed-ok: monotonic stats counter, read only for reporting
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            *state.result.lock() = Some(result);
-                            state.done.notify_all();
-                            let mut pending = stats.pending.lock();
-                            *pending -= 1;
-                            if *pending == 0 {
-                                stats.all_done.notify_all();
-                            }
+                            // Publish, *then* retire from the pending
+                            // gauge: a drainer released early would race
+                            // the waiter for this very completion.
+                            state.result.publish(result);
+                            stats.pending.dec();
                         }
                     })
+                    // lint:allow(hot-path-panic): worker spawn happens once
+                    // at engine construction, not on the per-op I/O path
                     .expect("spawn aio worker")
             })
             .collect();
@@ -409,10 +448,9 @@ impl AioEngine {
     }
 
     fn submit(&self, key: &str, kind: OpKind) -> OpHandle {
-        *self.stats.pending.lock() += 1;
+        self.stats.pending.inc();
         let state = Arc::new(OpState {
-            result: Mutex::new(None),
-            done: Condvar::new(),
+            result: CompletionSlot::new(),
             bytes: AtomicUsize::new(0),
             reclaim: Mutex::new(None),
         });
@@ -421,11 +459,24 @@ impl AioEngine {
             kind,
             state: Arc::clone(&state),
         };
-        self.tx
-            .as_ref()
-            .expect("engine alive")
-            .send(op)
-            .expect("workers alive while engine exists");
+        let sent = match self.tx.as_ref() {
+            Some(tx) => tx.send(op).is_ok(),
+            None => false,
+        };
+        if !sent {
+            // The queue is closed (engine mid-teardown). Unreachable
+            // through safe use — submission borrows the engine Drop is
+            // consuming — but poisoning the completion keeps even that
+            // misuse unwinding cleanly instead of wedging a waiter.
+            // The rejected op (and any pooled staging buffer in it) was
+            // dropped by the failed send, recycling the buffer.
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            state.result.publish(Err(io::Error::other(format!(
+                "submission queue closed before {key} was enqueued"
+            ))));
+            self.stats.pending.dec();
+        }
         OpHandle { state }
     }
 
@@ -480,7 +531,9 @@ impl AioEngine {
     /// are counted by [`AioEngine::op_errors`] instead.
     pub fn ops_completed(&self) -> (u64, u64) {
         (
+            // relaxed-ok: monotonic stats counter, read only for reporting
             self.stats.reads.load(Ordering::Relaxed),
+            // relaxed-ok: monotonic stats counter, read only for reporting
             self.stats.writes.load(Ordering::Relaxed),
         )
     }
@@ -488,40 +541,42 @@ impl AioEngine {
     /// (read bytes, written bytes) moved by successful operations.
     pub fn bytes_moved(&self) -> (u64, u64) {
         (
+            // relaxed-ok: monotonic stats counter, read only for reporting
             self.stats.read_bytes.load(Ordering::Relaxed),
+            // relaxed-ok: monotonic stats counter, read only for reporting
             self.stats.write_bytes.load(Ordering::Relaxed),
         )
     }
 
     /// Transient-error re-attempts performed by the retry layer.
     pub fn retries(&self) -> u64 {
+        // relaxed-ok: monotonic stats counter, read only for reporting
         self.stats.retries.load(Ordering::Relaxed)
     }
 
     /// Operations that ultimately failed (after any retries).
     pub fn op_errors(&self) -> u64 {
+        // relaxed-ok: monotonic stats counter, read only for reporting
         self.stats.errors.load(Ordering::Relaxed)
     }
 
     /// Cumulative worker busy time in seconds (sums across workers,
     /// including retry backoff).
     pub fn busy_seconds(&self) -> f64 {
+        // relaxed-ok: monotonic stats counter, read only for reporting
         self.stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Operations submitted but not yet completed.
     pub fn pending_ops(&self) -> usize {
-        *self.stats.pending.lock()
+        self.stats.pending.current()
     }
 
     /// Blocks until every submitted operation has completed — a
     /// completion barrier like `io_getevents` draining the whole queue.
     /// Parked on a condvar, so draining a slow tier does not burn a core.
     pub fn drain(&self) {
-        let mut pending = self.stats.pending.lock();
-        while *pending > 0 {
-            self.stats.all_done.wait(&mut pending);
-        }
+        self.stats.pending.drain();
     }
 }
 
@@ -725,7 +780,7 @@ mod tests {
         // through wait_pooled, so in-flight reads must stay below the
         // pool capacity).
         let mut pending: Vec<(usize, OpHandle)> = Vec::new();
-        let mut harvest = |pending: &mut Vec<(usize, OpHandle)>| {
+        let harvest = |pending: &mut Vec<(usize, OpHandle)>| {
             let (i, h) = pending.remove(0);
             let (buf, n) = h.wait_pooled().unwrap();
             assert_eq!(n, 32);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Asynchronous I/O engine — the reproduction's libaio/DeepNVMe layer.
 //!
@@ -18,8 +19,10 @@
 //!   process share the tier while other worker processes are excluded
 //!   (§3.2, §3.5).
 
+pub mod completion;
 pub mod engine;
 pub mod lock;
 
+pub use completion::{CompletionSlot, PendingGauge};
 pub use engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite, RetryPolicy};
 pub use lock::ProcessExclusiveLock;

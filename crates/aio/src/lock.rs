@@ -7,10 +7,14 @@
 //! ownership by an opaque holder id: acquisitions by the current holder are
 //! shared (reference counted), others queue FIFO by holder.
 
-use std::collections::VecDeque;
-use std::sync::Arc;
+//! The protocol is written against the [`mlp_sync`] facade: under
+//! `--cfg loom` the identical acquire/release code runs inside the model
+//! checker (`tests/loom_lock.rs`), which certifies FIFO hand-off without
+//! lost wakeups across every explored interleaving.
 
-use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+use mlp_sync::{Arc, Condvar, Mutex};
 
 /// Identifier of a worker process (one per GPU in the paper's deployment).
 pub type HolderId = usize;
@@ -109,6 +113,13 @@ impl ProcessExclusiveLock {
     /// Holder currently owning the lock, if any.
     pub fn owner(&self) -> Option<HolderId> {
         self.state.0.lock().owner
+    }
+
+    /// Snapshot of the distinct holders queued for ownership, in grant
+    /// order. Diagnostic only: by the time the caller looks at it, grants
+    /// may already have moved on.
+    pub fn waiters(&self) -> Vec<HolderId> {
+        self.state.0.lock().queue.iter().copied().collect()
     }
 
     fn release(&self, holder: HolderId) {

@@ -66,7 +66,10 @@ fn main() {
             eprintln!("cannot open tier {dir}: {e}");
             std::process::exit(1);
         })) as Arc<dyn Backend>;
-        let sample = measure_backend(backend.as_ref(), 1 << 20, 4);
+        let sample = measure_backend(backend.as_ref(), 1 << 20, 4).unwrap_or_else(|e| {
+            eprintln!("cannot microbenchmark tier {dir}: {e}");
+            std::process::exit(1);
+        });
         println!(
             "tier {dir}: read {:.2} GB/s, write {:.2} GB/s",
             sample.read_bps / 1e9,

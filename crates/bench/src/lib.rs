@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Shared formatting for the reproduction harness: renders each
 //! experiment's rows the way the paper's tables and figure captions report

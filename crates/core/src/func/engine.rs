@@ -18,6 +18,15 @@ use crate::policy::allocation::{allocate_counts, assign_subgroups};
 use crate::policy::cache::FramePlan;
 use crate::stats::TierDistribution;
 
+/// Bookkeeping-invariant failure surfaced as a typed error instead of a
+/// panic: a poisoned placement/residency table must fail the iteration
+/// (callers re-drive or report it) rather than tear down the engine
+/// mid-flight with unflushed state in the pipeline.
+fn invariant_violation(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+
 /// A storage tier shared by all worker engines on a node: the backend, the
 /// node-level process-exclusive lock, and the allocation weight (measured
 /// bandwidth or configured ratio component).
@@ -104,6 +113,7 @@ struct IterProgress {
 }
 
 /// Result of one update phase.
+#[derive(Debug)]
 pub struct UpdateOutcome {
     /// Updated FP16 parameters per subgroup id (what the GPU receives).
     pub fp16_params: Vec<Vec<u16>>,
@@ -369,7 +379,7 @@ impl MlpFuncEngine {
             .min_by(|&a, &b| {
                 let fa = flush_done[a] as f64 / flush_targets[a] as f64;
                 let fb = flush_done[b] as f64 / flush_targets[b] as f64;
-                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                fa.total_cmp(&fb).then(a.cmp(&b))
             })
             .unwrap_or(0)
     }
@@ -501,7 +511,9 @@ impl MlpFuncEngine {
                     pending.push_back((idx, None));
                 } else {
                     let Placement::Tier(t) = self.placement[idx] else {
-                        unreachable!("non-resident subgroup must be on a tier")
+                        return Err(invariant_violation(format!(
+                            "subgroup {idx} is neither host-resident nor placed on a tier"
+                        )));
                     };
                     // Write-after-evict fence: a read of a subgroup whose
                     // flush is still in flight could overtake the write on
@@ -530,7 +542,11 @@ impl MlpFuncEngine {
                 }
             }
 
-            let (idx, handle) = pending.pop_front().expect("window non-empty");
+            let Some((idx, handle)) = pending.pop_front() else {
+                return Err(invariant_violation(
+                    "prefetch window empty with subgroups still unprocessed".into(),
+                ));
+            };
             let n = self.subgroup_lens[idx];
             let mut res = match handle {
                 None => {
@@ -539,7 +555,11 @@ impl MlpFuncEngine {
                         .resident
                         .iter()
                         .position(|(i, _)| *i == idx)
-                        .expect("resident state present");
+                        .ok_or_else(|| {
+                            invariant_violation(format!(
+                                "subgroup {idx} marked host-resident but absent from the residency table"
+                            ))
+                        })?;
                     self.resident.remove(pos).1
                 }
                 Some(h) => {
@@ -729,7 +749,9 @@ impl MlpFuncEngine {
                     pending.push_back((idx, None));
                 } else {
                     let Placement::Tier(t) = self.placement[idx] else {
-                        unreachable!("non-resident subgroup must be on a tier")
+                        return Err(invariant_violation(format!(
+                            "subgroup {idx} is neither host-resident nor placed on a tier"
+                        )));
                     };
                     if let Some(h) = inflight_flush.remove(&idx) {
                         // Write-after-evict fence; reclaim on failure.
@@ -753,7 +775,11 @@ impl MlpFuncEngine {
                 }
             }
 
-            let (idx, handle) = pending.pop_front().expect("window non-empty");
+            let Some((idx, handle)) = pending.pop_front() else {
+                return Err(invariant_violation(
+                    "prefetch window empty with subgroups still unprocessed".into(),
+                ));
+            };
             let n = self.subgroup_lens[idx];
             // Content step: subgroups already updated by a failed attempt
             // of this iteration carry `self.step`; everything else still
@@ -770,7 +796,11 @@ impl MlpFuncEngine {
                         .resident
                         .iter()
                         .position(|(i, _)| *i == idx)
-                        .expect("resident state present");
+                        .ok_or_else(|| {
+                            invariant_violation(format!(
+                                "subgroup {idx} marked host-resident but absent from the residency table"
+                            ))
+                        })?;
                     match self.resident.remove(pos).1 {
                         Resident::Owned(st) => st,
                         Resident::Pooled { buf, n } => {
@@ -900,7 +930,11 @@ impl MlpFuncEngine {
                     self.resident
                         .iter()
                         .find(|(i, _)| *i == idx)
-                        .expect("resident state present")
+                        .ok_or_else(|| {
+                            invariant_violation(format!(
+                                "subgroup {idx} marked host-resident but absent from the residency table"
+                            ))
+                        })?
                         .1
                         .params_vec(),
                 ),
@@ -945,7 +979,11 @@ impl MlpFuncEngine {
                         .resident
                         .iter()
                         .find(|(i, _)| *i == idx)
-                        .expect("resident state present")
+                        .ok_or_else(|| {
+                            invariant_violation(format!(
+                                "subgroup {idx} marked host-resident but absent from the residency table"
+                            ))
+                        })?
                         .1
                         .state_bytes();
                     stats.copied_bytes += bytes.len() as u64;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! **MLP-Offload** — multi-level, multi-path offloading for LLM
 //! pre-training (reproduction of Maurya et al., SC '25).

@@ -31,7 +31,7 @@ pub fn allocate_counts(m: usize, bandwidths: &[f64]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let fa = exact[a] - exact[a].floor();
         let fb = exact[b] - exact[b].floor();
-        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        fb.total_cmp(&fa).then(a.cmp(&b))
     });
     let mut i = 0;
     while assigned < m {
@@ -58,8 +58,12 @@ pub fn assign_subgroups(m: usize, bandwidths: &[f64]) -> Vec<usize> {
             .min_by(|&a, &b| {
                 let fa = placed[a] as f64 / targets[a] as f64;
                 let fb = placed[b] as f64 / targets[b] as f64;
-                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                fa.total_cmp(&fb).then(a.cmp(&b))
             })
+            // lint:allow(hot-path-panic): unreachable by construction —
+            // `allocate_counts` returns counts summing to exactly `m`, and
+            // the loop places exactly `m` subgroups, so an unsaturated
+            // tier always exists; pure CPU-side planning, no I/O in flight
             .expect("targets sum to m");
         placed[tier] += 1;
         out.push(tier);

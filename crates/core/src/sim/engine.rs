@@ -316,6 +316,10 @@ impl SimWorker {
                     }
                     let tier = match this.inner.state.borrow().placement[idx] {
                         Placement::Tier(t) => t,
+                        // lint:allow(hot-path-panic): deterministic virtual-time
+                        // simulation — a placement-table invariant breach here is
+                        // a modelling bug, not a runtime I/O failure; failing
+                        // fast keeps simulated results trustworthy
                         Placement::Host => unreachable!("non-retained subgroup marked Host"),
                     };
                     let bytes = this.fetch_bytes(idx);
@@ -357,6 +361,10 @@ impl SimWorker {
         let mut flush_handles = Vec::new();
         let mut h2d_handles = Vec::new();
         for _ in 0..m {
+            // lint:allow(hot-path-panic): deterministic virtual-time
+            // simulation — the prefetcher task sends exactly `m` frames by
+            // construction; a short channel is a modelling bug worth a
+            // loud failure, not a recoverable I/O error
             let (idx, frame, was_hit) = rx.recv().await.expect("prefetcher sends all subgroups");
             let sub = self.inner.subgroups[idx];
             if was_hit {
@@ -402,7 +410,7 @@ impl SimWorker {
                     .min_by(|&a, &b| {
                         let fa = flush_done[a] as f64 / flush_targets[a] as f64;
                         let fb = flush_done[b] as f64 / flush_targets[b] as f64;
-                        fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                        fa.total_cmp(&fb).then(a.cmp(&b))
                     })
                     .unwrap_or(0);
                 flush_done[tier] += 1;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Model substrate: transformer architecture math, the paper's model zoo,
 //! ZeRO-3 sharding into subgroups, and a DeepSpeed-style memory estimator.

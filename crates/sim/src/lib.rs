@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Deterministic discrete-event simulation (DES) kernel with an async/await
 //! process model.

@@ -246,6 +246,8 @@ impl Backend for DirBackend {
             "{}.{}.{}.tmp",
             file_name,
             std::process::id(),
+            // relaxed-ok: uniqueness comes from the atomic RMW itself;
+            // no other memory is published through this counter
             TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         ));
         let result = (|| {

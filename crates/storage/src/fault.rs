@@ -160,6 +160,14 @@ pub struct FaultCounts {
     pub passed: u64,
 }
 
+/// Injection counters.
+///
+/// Ordering contract: every field is a pure monotonic event counter —
+/// incremented on the injection path, read only by [`FaultInjectBackend::counts`]
+/// for reporting. Nothing synchronizes *through* these atomics (no thread
+/// reads one to decide whether other memory is visible), so all accesses
+/// use `Ordering::Relaxed`; each site carries a `// relaxed-ok:` note for
+/// the `xtask lint` relaxed-audit rule.
 #[derive(Default)]
 struct FaultStats {
     transient: AtomicU64,
@@ -223,11 +231,11 @@ impl FaultInjectBackend {
     /// Current injection counters.
     pub fn counts(&self) -> FaultCounts {
         FaultCounts {
-            transient: self.stats.transient.load(Ordering::Relaxed),
-            permanent: self.stats.permanent.load(Ordering::Relaxed),
-            short_reads: self.stats.short_reads.load(Ordering::Relaxed),
-            latency_spikes: self.stats.latency_spikes.load(Ordering::Relaxed),
-            passed: self.stats.passed.load(Ordering::Relaxed),
+            transient: self.stats.transient.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            permanent: self.stats.permanent.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            short_reads: self.stats.short_reads.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            latency_spikes: self.stats.latency_spikes.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            passed: self.stats.passed.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
         }
     }
 
@@ -261,7 +269,7 @@ impl FaultInjectBackend {
     /// injection to read-shaped ops.
     fn decide(&self, key: &str, reads_can_be_short: bool) -> Verdict {
         if !self.armed.load(Ordering::SeqCst) {
-            self.stats.passed.fetch_add(1, Ordering::Relaxed);
+            self.stats.passed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             return Verdict::Pass;
         }
         let kh = Self::key_hash(key);
@@ -273,27 +281,27 @@ impl FaultInjectBackend {
             s
         };
         if self.cfg.latency_spike_p > 0.0 && self.roll(kh, seq, 1) < self.cfg.latency_spike_p {
-            self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             std::thread::sleep(self.cfg.latency_spike);
         }
         let r = self.roll(kh, seq, 2);
         if r < self.cfg.permanent_error_p {
-            self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+            self.stats.permanent.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             return Verdict::Permanent;
         }
         if r < self.cfg.permanent_error_p + self.cfg.transient_error_p {
-            self.stats.transient.fetch_add(1, Ordering::Relaxed);
+            self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             return Verdict::Transient;
         }
         if reads_can_be_short
             && self.cfg.short_read_p > 0.0
             && self.roll(kh, seq, 3) < self.cfg.short_read_p
         {
-            self.stats.short_reads.fetch_add(1, Ordering::Relaxed);
-            self.stats.transient.fetch_add(1, Ordering::Relaxed);
+            self.stats.short_reads.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             return Verdict::ShortRead;
         }
-        self.stats.passed.fetch_add(1, Ordering::Relaxed);
+        self.stats.passed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
         Verdict::Pass
     }
 

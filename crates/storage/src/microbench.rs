@@ -5,6 +5,7 @@
 //! timing, and simulated tiers with virtual-clock timing (including the
 //! concurrency sweep behind Fig. 4).
 
+use std::io;
 use std::sync::Arc;
 
 use mlp_sim::Sim;
@@ -35,20 +36,20 @@ pub fn measure_backend(
     backend: &dyn Backend,
     block_bytes: usize,
     blocks: usize,
-) -> BandwidthSample {
+) -> io::Result<BandwidthSample> {
     assert!(blocks > 0 && block_bytes > 0, "need data to measure");
     let data = vec![0xA5u8; block_bytes];
     let keys: Vec<String> = (0..blocks).map(|i| format!("__microbench/{i}")).collect();
 
     let t0 = std::time::Instant::now();
     for k in &keys {
-        backend.write(k, &data).expect("microbench write");
+        backend.write(k, &data)?;
     }
     let write_secs = t0.elapsed().as_secs_f64().max(1e-9);
 
     let t0 = std::time::Instant::now();
     for k in &keys {
-        let back = backend.read(k).expect("microbench read");
+        let back = backend.read(k)?;
         std::hint::black_box(back.len());
     }
     let read_secs = t0.elapsed().as_secs_f64().max(1e-9);
@@ -58,10 +59,10 @@ pub fn measure_backend(
     }
 
     let total = (block_bytes * blocks) as f64;
-    BandwidthSample {
+    Ok(BandwidthSample {
         read_bps: total / read_secs,
         write_bps: total / write_secs,
-    }
+    })
 }
 
 /// Concurrent measurement of a real backend from `procs` threads (the
@@ -71,41 +72,43 @@ pub fn measure_backend_concurrent(
     block_bytes: usize,
     blocks_per_proc: usize,
     procs: usize,
-) -> (BandwidthSample, f64) {
+) -> io::Result<(BandwidthSample, f64)> {
     assert!(procs > 0, "need at least one process");
     let t0 = std::time::Instant::now();
     let mut handles = Vec::new();
     for p in 0..procs {
         let backend = Arc::clone(&backend);
-        handles.push(std::thread::spawn(move || {
+        handles.push(std::thread::spawn(move || -> io::Result<f64> {
             let data = vec![0x5Au8; block_bytes];
             let mut op_secs = 0.0;
             for i in 0..blocks_per_proc {
                 let key = format!("__mb{p}/{i}");
                 let t = std::time::Instant::now();
-                backend.write(&key, &data).expect("microbench write");
-                let back = backend.read(&key).expect("microbench read");
+                backend.write(&key, &data)?;
+                let back = backend.read(&key)?;
                 std::hint::black_box(back.len());
                 op_secs += t.elapsed().as_secs_f64();
                 let _ = backend.delete(&key);
             }
-            op_secs / blocks_per_proc as f64
+            Ok(op_secs / blocks_per_proc as f64)
         }));
     }
-    let mean_latency = handles
-        .into_iter()
-        .map(|h| h.join().expect("bench thread"))
-        .sum::<f64>()
-        / procs as f64;
+    let mut latency_sum = 0.0;
+    for h in handles {
+        latency_sum += h.join().map_err(|_| {
+            io::Error::new(io::ErrorKind::Other, "microbench thread panicked")
+        })??;
+    }
+    let mean_latency = latency_sum / procs as f64;
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
     let total = (block_bytes * blocks_per_proc * procs) as f64;
-    (
+    Ok((
         BandwidthSample {
             read_bps: total / wall,
             write_bps: total / wall,
         },
         mean_latency,
-    )
+    ))
 }
 
 /// One point of the Fig. 4 concurrency sweep on a simulated tier:
@@ -135,6 +138,9 @@ pub fn measure_sim_tier_concurrent(
     let write_secs = sim.now_secs();
     let write_latency: f64 = write_handles
         .iter()
+        // lint:allow(hot-path-panic): virtual-time simulation — sim.run()
+        // returns only once every spawned task completed, so the result is
+        // always present; an empty take is a simulator bug
         .map(|h| h.try_take().expect("write done"))
         .sum::<f64>()
         / procs as f64;
@@ -155,6 +161,9 @@ pub fn measure_sim_tier_concurrent(
     let read_secs = sim.now_secs() - read_start;
     let read_latency: f64 = read_handles
         .iter()
+        // lint:allow(hot-path-panic): virtual-time simulation — sim.run()
+        // returns only once every spawned task completed, so the result is
+        // always present; an empty take is a simulator bug
         .map(|h| h.try_take().expect("read done"))
         .sum::<f64>()
         / procs as f64;
@@ -179,8 +188,8 @@ mod tests {
     fn backend_measurement_orders_throttled_tiers() {
         let fast = MemBackend::throttled("fast", 400e6, 400e6);
         let slow = MemBackend::throttled("slow", 50e6, 50e6);
-        let f = measure_backend(&fast, 1 << 20, 4);
-        let s = measure_backend(&slow, 1 << 20, 4);
+        let f = measure_backend(&fast, 1 << 20, 4).expect("measure fast");
+        let s = measure_backend(&slow, 1 << 20, 4).expect("measure slow");
         assert!(f.read_bps > s.read_bps);
         assert!(f.write_bps > s.write_bps);
         // Within a factor ~2 of the configured throttle.
@@ -233,7 +242,8 @@ mod tests {
     #[test]
     fn concurrent_backend_measurement_runs() {
         let backend: Arc<dyn Backend> = Arc::new(MemBackend::new("mem"));
-        let (sample, latency) = measure_backend_concurrent(backend, 1 << 16, 4, 3);
+        let (sample, latency) =
+            measure_backend_concurrent(backend, 1 << 16, 4, 3).expect("measure");
         assert!(sample.read_bps > 0.0);
         assert!(latency >= 0.0);
     }

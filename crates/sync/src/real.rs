@@ -1,0 +1,19 @@
+//! Production resolution of the facade: `parking_lot` locks, `std`
+//! atomics and threads. Nothing here adds a layer at runtime — every item
+//! is a re-export, so ported code pays zero cost for the indirection.
+
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+pub use std::sync::Arc;
+
+/// Atomics used on the I/O hot paths. `Ordering` is re-exported so callers
+/// never need to name `std::sync::atomic` directly (the workspace lint
+/// flags that in ported crates).
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning for engine workers.
+pub mod thread {
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}

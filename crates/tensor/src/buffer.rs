@@ -48,14 +48,25 @@ impl HostBuffer {
 
     /// Read-only byte view.
     pub fn as_bytes(&self) -> &[u8] {
-        // SAFETY: the words allocation covers at least `len` bytes, u8 has
-        // alignment 1, and every byte of a u32 is a valid u8.
+        // SAFETY: `zeroed` allocates `words` with `len.div_ceil(4)` u32s
+        // and `len` never grows afterwards, so the pointer is valid for
+        // reads of `self.len <= words.len() * 4` bytes within one
+        // allocation (and `len <= isize::MAX` follows from the Vec's own
+        // size bound). `u8` has alignment 1, every initialized byte of a
+        // `u32` is a valid `u8`, and the cast keeps the Vec allocation's
+        // provenance. The returned borrow is tied to `&self`, so the Vec
+        // cannot be dropped, reallocated, or written through `&mut self`
+        // while the slice lives.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
     }
 
     /// Mutable byte view.
     pub fn as_bytes_mut(&mut self) -> &mut [u8] {
-        // SAFETY: as `as_bytes`, plus exclusive access via `&mut self`.
+        // SAFETY: same bounds/validity argument as `as_bytes`; in
+        // addition `&mut self` gives exclusive access to `words` for the
+        // borrow's lifetime, so this is the only live view into the
+        // allocation (no aliasing), and writing any byte value keeps the
+        // underlying u32s initialized and valid.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
     }
 
@@ -75,8 +86,15 @@ impl HostBuffer {
     /// Panics if `4 * count` exceeds the buffer length.
     pub fn as_f32(&self, count: usize) -> &[f32] {
         assert!(count * 4 <= self.len, "as_f32 out of bounds");
-        // SAFETY: the backing store is 4-byte aligned (Vec<u32>), covers
-        // `count` f32s, and every bit pattern is a valid f32.
+        // SAFETY: the backing store is a `Vec<u32>`, so the pointer is
+        // 4-byte aligned, which satisfies `f32`'s alignment; the assert
+        // above plus the allocation invariant (`words.len() * 4 >= len`)
+        // bound the view to `count <= words.len()` elements inside the
+        // allocation. `u32` and `f32` have identical size/alignment and
+        // every initialized `u32` bit pattern is a valid `f32` (including
+        // NaN payloads), so the transmute of contents is lossless. The
+        // borrow is tied to `&self`, preventing concurrent mutation or
+        // reallocation for its lifetime.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<f32>(), count) }
     }
 
@@ -89,7 +107,11 @@ impl HostBuffer {
     /// Panics if `4 * count` exceeds the buffer length.
     pub fn as_f32_mut(&mut self, count: usize) -> &mut [f32] {
         assert!(count * 4 <= self.len, "as_f32_mut out of bounds");
-        // SAFETY: as `as_f32`, plus exclusive access via `&mut self`.
+        // SAFETY: same alignment/bounds/validity argument as `as_f32`;
+        // `&mut self` additionally guarantees this is the only live view
+        // of the allocation (no aliasing), and any `f32` the kernels
+        // store back is a valid `u32` bit pattern, so the backing words
+        // stay initialized for later byte-level reads.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f32>(), count) }
     }
 

@@ -1,0 +1,150 @@
+//! Workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root <dir>]
+//! ```
+//!
+//! walks every crate's `src/` (plus the root suite package) and enforces
+//! the concurrency/safety invariants described in [`rules`]. Exits
+//! non-zero if any violation is found, so CI can gate on it.
+
+#![deny(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use rules::{check_file, FileCtx, Violation};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; try `lint`");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut files = 0usize;
+    for (path, crate_dir) in lint_targets(&root) {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files += 1;
+        violations.extend(check_file(&FileCtx::from_source(&rel, &crate_dir, &src)));
+    }
+
+    violations.sort_by(|a, b| (&a.rel_path, a.line).cmp(&(&b.rel_path, b.line)));
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} violation(s) across {files} files", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut it = args.iter();
+    let mut root = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                ));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        None => find_workspace_root()
+            .ok_or_else(|| "could not find workspace root (no Cargo.toml with [workspace]); pass --root".into()),
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every `.rs` file under each crate's `src/`, tagged with the crate's
+/// directory name, plus the workspace-root suite package (`src/`).
+fn lint_targets(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            collect_rs(&dir.join("src"), &name, &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), ".", &mut out);
+    out
+}
+
+fn collect_rs(dir: &Path, crate_dir: &str, out: &mut Vec<(PathBuf, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, crate_dir, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push((p, crate_dir.to_owned()));
+        }
+    }
+}

@@ -33,6 +33,7 @@ use mlp_tensor::pool::PinnedPool;
 use mlp_tensor::HostBuffer;
 
 /// Result of one baseline update phase.
+#[derive(Debug)]
 pub struct Zero3UpdateOutcome {
     /// Updated FP16 parameters per subgroup id.
     pub fp16_params: Vec<Vec<u16>>,
@@ -387,7 +388,12 @@ impl Zero3FuncEngine {
                 };
                 pending.push_back((idx, state_h, grad_h));
             }
-            let (idx, state_h, grad_h) = pending.pop_front().expect("window non-empty");
+            let Some((idx, state_h, grad_h)) = pending.pop_front() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "prefetch window empty with subgroups still unprocessed",
+                ));
+            };
             let n = self.subgroup_lens[idx];
             // Settle this subgroup's paired fetches together so a failure
             // of one cannot abandon the other's handle mid-flight.
@@ -502,7 +508,12 @@ impl Zero3FuncEngine {
                 };
                 pending.push_back((idx, state_h, grad_h));
             }
-            let (idx, state_h, grad_h) = pending.pop_front().expect("window non-empty");
+            let Some((idx, state_h, grad_h)) = pending.pop_front() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "prefetch window empty with subgroups still unprocessed",
+                ));
+            };
             let n = self.subgroup_lens[idx];
             let state_bytes = match state_h.wait() {
                 Ok(b) => b.ok_or_else(|| {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! The comparison baseline: DeepSpeed ZeRO-3 with the DeepNVMe
 //! asynchronous offloading engine (Fig. 6 top).

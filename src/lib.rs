@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Umbrella crate for the MLP-Offload reproduction workspace.
 //!
