@@ -20,6 +20,7 @@ use mlp_sync::{thread, Arc, Mutex};
 use mlp_storage::fault::is_transient;
 use mlp_storage::Backend;
 use mlp_tensor::PooledBuffer;
+use mlp_trace::{Attrs, Counter, Phase, TraceSink};
 
 use crate::completion::{CompletionSlot, PendingGauge};
 
@@ -107,6 +108,18 @@ pub struct AioConfig {
     pub queue_depth: usize,
     /// Retry policy applied to every backend call inside the workers.
     pub retry: RetryPolicy,
+    /// Observability sink. When enabled, every completed operation
+    /// records an [`Phase::AioRead`]/[`Phase::AioWrite`]/
+    /// [`Phase::AioDelete`] span, each re-attempt an
+    /// [`Phase::AioRetry`] instant, and the engine mirrors its internal
+    /// operation meters into the sink's metrics registry under
+    /// `aio.<backend>.<meter>`. Disabled by default,
+    /// which keeps the per-op path free of any tracing work.
+    pub trace: TraceSink,
+    /// Storage-tier index stamped on this engine's trace events so the
+    /// timeline and the per-tier bandwidth summary can attribute I/O
+    /// (`-1` = untiered, e.g. in unit tests).
+    pub trace_tier: i32,
 }
 
 impl Default for AioConfig {
@@ -115,6 +128,8 @@ impl Default for AioConfig {
             workers: 2,
             queue_depth: 64,
             retry: RetryPolicy::default(),
+            trace: TraceSink::disabled(),
+            trace_tier: -1,
         }
     }
 }
@@ -132,6 +147,17 @@ enum OpKind {
     /// [`OpHandle::wait_pooled`].
     ReadPooled(PooledBuffer, usize),
     Delete,
+}
+
+impl OpKind {
+    /// Trace phase recorded for this operation's completion span.
+    fn phase(&self) -> Phase {
+        match self {
+            OpKind::Write(..) | OpKind::WritePooled(..) => Phase::AioWrite,
+            OpKind::Read | OpKind::ReadPooled(..) => Phase::AioRead,
+            OpKind::Delete => Phase::AioDelete,
+        }
+    }
 }
 
 /// What a completed operation produced.
@@ -285,23 +311,54 @@ struct Stats {
     pending: PendingGauge,
 }
 
+/// Registry-backed mirrors of the engine's [`Stats`], published under
+/// `aio.<backend>.<meter>` when the engine is constructed with an
+/// enabled [`TraceSink`]. Detached (free-floating, never exported)
+/// when tracing is off, so the mirror writes stay off the books.
+struct TraceMeters {
+    reads: Counter,
+    writes: Counter,
+    read_bytes: Counter,
+    write_bytes: Counter,
+    retries: Counter,
+    errors: Counter,
+}
+
+impl TraceMeters {
+    fn new(trace: &TraceSink, backend: &str) -> Self {
+        let c = |meter: &str| trace.counter(&format!("aio.{backend}.{meter}"));
+        TraceMeters {
+            reads: c("reads"),
+            writes: c("writes"),
+            read_bytes: c("read_bytes"),
+            write_bytes: c("write_bytes"),
+            retries: c("retries"),
+            errors: c("errors"),
+        }
+    }
+}
+
 /// Executes one operation against the backend under the retry policy.
 ///
 /// Completion counters (`reads`/`writes`/`*_bytes`) are bumped only on
-/// success; failures are the caller's to count. Pooled buffers return to
+/// success; failures are the caller's to count, and re-attempts land in
+/// `op_retries` (the caller folds them into the shared stats so the
+/// trace can attribute retries to individual operations). Pooled
+/// buffers return to
 /// their pool on every path: success (write) / handed back (read), error
 /// (dropped here), and panic (dropped during unwind).
 fn execute_op(
     backend: &dyn Backend,
     retry: &RetryPolicy,
     stats: &Stats,
+    op_retries: &AtomicU64,
     state: &OpState,
     key: &str,
     kind: OpKind,
 ) -> io::Result<OpOutput> {
     match kind {
         OpKind::Write(data) => {
-            match retry.run(&stats.retries, || backend.write(key, &data)) {
+            match retry.run(op_retries, || backend.write(key, &data)) {
                 Ok(()) => {
                     // Release: paired with the Acquire in OpHandle::bytes,
                     // which may read this outside the completion mutex.
@@ -322,7 +379,7 @@ fn execute_op(
             }
         }
         OpKind::WritePooled(buf, len) => {
-            match retry.run(&stats.retries, || {
+            match retry.run(op_retries, || {
                 backend.write(key, &buf.buffer().as_bytes()[..len])
             }) {
                 Ok(()) => {
@@ -342,7 +399,7 @@ fn execute_op(
             }
         }
         OpKind::Read => {
-            let data = retry.run(&stats.retries, || backend.read(key))?;
+            let data = retry.run(op_retries, || backend.read(key))?;
             // Release: paired with the Acquire in OpHandle::bytes.
             state.bytes.store(data.len(), Ordering::Release);
             // relaxed-ok: monotonic stats counter, read only for reporting
@@ -357,7 +414,7 @@ fn execute_op(
             // A retried attempt overwrites whatever a failed partial read
             // left in the window; on error the buffer drops here and
             // recycles to its pool.
-            let n = retry.run(&stats.retries, || {
+            let n = retry.run(op_retries, || {
                 backend.read_into(key, &mut buf.buffer_mut().as_bytes_mut()[..len])
             })?;
             // Release: paired with the Acquire in OpHandle::bytes.
@@ -369,7 +426,7 @@ fn execute_op(
             Ok(OpOutput::Pooled(buf, n))
         }
         OpKind::Delete => {
-            retry.run(&stats.retries, || backend.delete(key))?;
+            retry.run(op_retries, || backend.delete(key))?;
             Ok(OpOutput::None)
         }
     }
@@ -394,31 +451,54 @@ impl AioEngine {
         let (tx, rx) = bounded::<Op>(config.queue_depth);
         let stats = Arc::new(Stats::default());
         let backend_name = backend.name().to_string();
+        let meters = Arc::new(TraceMeters::new(&config.trace, &backend_name));
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = rx.clone();
                 let backend = Arc::clone(&backend);
                 let stats = Arc::clone(&stats);
                 let retry = config.retry.clone();
+                let trace = config.trace.clone();
+                let trace_tier = config.trace_tier;
+                let meters = Arc::clone(&meters);
                 thread::Builder::new()
                     .name(format!("aio-{}-{}", backend_name, i))
                     .spawn(move || {
                         while let Ok(op) = rx.recv() {
                             let t0 = Instant::now();
                             let Op { key, kind, state } = op;
+                            let phase = kind.phase();
+                            let span_start = trace.now_ns();
+                            // Per-op retry count, folded into the shared
+                            // counter afterwards so the trace can tell
+                            // which op re-attempted.
+                            let op_retries = AtomicU64::new(0);
                             // A panicking backend must not leave waiters
                             // blocked on a result that never arrives:
                             // catch the unwind (dropping any staging
                             // buffer back to its pool on the way) and
                             // poison the completion slot with an error.
                             let result = catch_unwind(AssertUnwindSafe(|| {
-                                execute_op(&*backend, &retry, &stats, &state, &key, kind)
+                                execute_op(
+                                    &*backend,
+                                    &retry,
+                                    &stats,
+                                    &op_retries,
+                                    &state,
+                                    &key,
+                                    kind,
+                                )
                             }))
                             .unwrap_or_else(|_| {
                                 Err(io::Error::other(format!(
                                     "I/O worker panicked while processing {key}"
                                 )))
                             });
+                            let retried = op_retries.load(Ordering::Acquire);
+                            if retried > 0 {
+                                // relaxed-ok: monotonic stats counter, read only for reporting
+                                stats.retries.fetch_add(retried, Ordering::Relaxed);
+                            }
                             if result.is_err() {
                                 // relaxed-ok: monotonic stats counter, read only for reporting
                                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -427,6 +507,35 @@ impl AioEngine {
                                 .busy_nanos
                                 // relaxed-ok: monotonic stats counter, read only for reporting
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            if trace.is_enabled() {
+                                let bytes = state.bytes.load(Ordering::Acquire) as u64;
+                                let attrs = Attrs {
+                                    tier: trace_tier,
+                                    bytes,
+                                    ..Attrs::NONE
+                                };
+                                let end_ns = trace.now_ns();
+                                for _ in 0..retried {
+                                    trace.instant(Phase::AioRetry, attrs, end_ns);
+                                }
+                                trace.complete_span(phase, attrs, span_start, end_ns);
+                                meters.retries.add(retried);
+                                if result.is_ok() {
+                                    match phase {
+                                        Phase::AioRead => {
+                                            meters.reads.inc();
+                                            meters.read_bytes.add(bytes);
+                                        }
+                                        Phase::AioWrite => {
+                                            meters.writes.inc();
+                                            meters.write_bytes.add(bytes);
+                                        }
+                                        _ => {}
+                                    }
+                                } else {
+                                    meters.errors.inc();
+                                }
+                            }
                             // Publish, *then* retire from the pending
                             // gauge: a drainer released early would race
                             // the waiter for this very completion.
@@ -975,6 +1084,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 8,
                 retry: fast_retry(4),
+                ..AioConfig::default()
             },
         );
         e.submit_write("k", vec![5u8; 16]).wait().unwrap();
@@ -993,6 +1103,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 8,
                 retry: fast_retry(3),
+                ..AioConfig::default()
             },
         );
         let err = e.submit_write("k", vec![1]).wait().unwrap_err();
@@ -1018,6 +1129,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 8,
                 retry: fast_retry(5),
+                ..AioConfig::default()
             },
         );
         assert!(e.submit_read("k").wait().is_err());

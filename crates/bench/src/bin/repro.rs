@@ -15,18 +15,42 @@
 //! ```
 //!
 //! `--json` emits the raw rows as JSON instead of ASCII tables.
+//!
+//! `--trace <out.json>` runs the 40B Fig. 5 scenario with tracing enabled
+//! for both approaches and writes a merged Chrome trace (see
+//! OBSERVABILITY.md). With no subcommand it runs only the timeline export.
 
+use mlp_bench::timeline::{export_timeline_trace, render_timeline};
 use mlp_bench::*;
 use mlp_train::experiments as exp;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Pull out `--trace <path>` before subcommand detection so the path
+    // operand is not mistaken for a subcommand.
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--trace requires an output path");
+            std::process::exit(2);
+        }
+        args.remove(i)
+    });
     let json = args.iter().any(|a| a == "--json");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let explicit_cmd = args.iter().find(|a| !a.starts_with("--")).cloned();
+    if let Some(path) = &trace_path {
+        match export_timeline_trace(path) {
+            Ok(runs) => render_timeline(path, &runs),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if explicit_cmd.is_none() {
+            return;
+        }
+    }
+    let cmd = explicit_cmd.unwrap_or_else(|| "all".to_string());
 
     macro_rules! emit {
         ($rows:expr, $render:expr) => {{

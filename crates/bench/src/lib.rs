@@ -3,7 +3,9 @@
 
 //! Shared formatting for the reproduction harness: renders each
 //! experiment's rows the way the paper's tables and figure captions report
-//! them.
+//! them, plus the traced Fig. 5 timeline export ([`timeline`]).
+
+pub mod timeline;
 
 use mlp_train::experiments::{
     AblationRow, CacheSweepRow, CheckpointRow, CostRow, CxlRow, Fig13Row, Fig3Row, Fig4Row,

@@ -14,6 +14,7 @@
 //! { "mlp_offload": { "tiers": ["/local/nvme", "/lustre/run"], "ratio": "2:1" } }
 //! ```
 
+use mlp_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 
 use crate::policy::allocation::parse_ratio;
@@ -54,6 +55,21 @@ pub struct EngineConfig {
     /// principles, so both presets enable it.
     #[serde(default = "default_fused_update")]
     pub fused_update: bool,
+    /// Let optimizer-state flushes started during the update phase drain
+    /// lazily into the *next* iteration's forward/backward window instead
+    /// of being awaited before the update returns (§3.4's lazy flushing,
+    /// made visible on the timeline). Off in both presets so the
+    /// reproduction numbers are unchanged; the `repro --trace` driver
+    /// enables it for the MLP-Offload engine to demonstrate the Figure 5
+    /// flush/backward overlap.
+    #[serde(default)]
+    pub deferred_flush_drain: bool,
+    /// Observability sink (disabled by default = zero cost). Not part of
+    /// the serialized configuration: a trace is a per-run artifact, not a
+    /// preset. Disabled sinks compare equal, so config equality between
+    /// presets still holds.
+    #[serde(skip)]
+    pub trace: TraceSink,
 }
 
 fn default_fused_update() -> bool {
@@ -75,6 +91,8 @@ impl EngineConfig {
             adaptive_bandwidth: false,
             tier_ratio: None,
             fused_update: true,
+            deferred_flush_drain: false,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -90,7 +108,16 @@ impl EngineConfig {
             adaptive_bandwidth: true,
             tier_ratio: None,
             fused_update: true,
+            deferred_flush_drain: false,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink (see [`mlp_trace`]); every engine
+    /// built from this config records its phases and I/O through it.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the host frame budget (from the memory estimator).

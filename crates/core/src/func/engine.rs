@@ -8,9 +8,10 @@ use mlp_aio::engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite};
 use mlp_aio::lock::ProcessExclusiveLock;
 use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
 use mlp_optim::{SubgroupState, SubgroupStateMut};
-use mlp_storage::Backend;
+use mlp_storage::{Backend, TracedBackend};
 use mlp_tensor::convert;
 use mlp_tensor::pool::{PinnedPool, PooledBuffer};
+use mlp_trace::{Attrs, Phase};
 
 use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
 use crate::config::EngineConfig;
@@ -176,12 +177,33 @@ impl MlpFuncEngine {
         if let Some(ratio) = &cfg.tier_ratio {
             assert_eq!(ratio.len(), shared_tiers.len(), "ratio/tier mismatch");
         }
+        // With an enabled sink, each tier's I/O engine stamps its spans
+        // with the tier index and the backend is wrapped so the storage
+        // medium itself contributes tier_read/tier_write spans (the
+        // per-tier bandwidth summary's input). Disabled, the construction
+        // is untouched — no wrapper, no per-op tracing work.
+        let trace = cfg.trace.clone();
         let tiers: Vec<TierRt> = shared_tiers
             .iter()
-            .map(|t| TierRt {
-                engine: AioEngine::new(Arc::clone(&t.backend), t.aio.clone()),
-                lock: t.lock.clone(),
-                weight: t.weight,
+            .enumerate()
+            .map(|(ti, t)| {
+                let mut aio = t.aio.clone();
+                let backend: Arc<dyn Backend> = if trace.is_enabled() {
+                    aio.trace = trace.clone();
+                    aio.trace_tier = ti as i32;
+                    Arc::new(TracedBackend::new(
+                        Arc::clone(&t.backend),
+                        ti as i32,
+                        trace.clone(),
+                    ))
+                } else {
+                    Arc::clone(&t.backend)
+                };
+                TierRt {
+                    engine: AioEngine::new(backend, aio),
+                    lock: t.lock.clone(),
+                    weight: t.weight,
+                }
             })
             .collect();
         let weights: Vec<f64> = match &cfg.tier_ratio {
@@ -201,7 +223,8 @@ impl MlpFuncEngine {
         // flush completes).
         let buffer_bytes = subgroup_lens.iter().copied().max().unwrap_or(1).max(1) * 12;
         let pool_capacity = plan.retain_frames + 2 * plan.pipeline_frames + 2;
-        let state_pool = PinnedPool::new(pool_capacity, buffer_bytes);
+        let state_pool =
+            PinnedPool::new_traced(pool_capacity, buffer_bytes, "state", cfg.trace.clone());
 
         let engine = MlpFuncEngine {
             state_pool,
@@ -349,11 +372,22 @@ impl MlpFuncEngine {
             flushes: 0,
         };
 
+        let phase_start = self.cfg.trace.now_ns();
         let result = if self.cfg.fused_update {
             self.run_update_fused(&order, &flush_targets, inv_scale, &mut outcome, &mut progress)
         } else {
             self.run_update_multipass(&order, &flush_targets, inv_scale, &mut outcome, &mut progress)
         };
+        if self.cfg.trace.is_enabled() {
+            // The whole update phase as one span; the per-subgroup I/O
+            // and kernel spans nest underneath it on the timeline.
+            self.cfg.trace.complete_span(
+                Phase::Update,
+                Attrs::NONE,
+                phase_start,
+                self.cfg.trace.now_ns(),
+            );
+        }
         match result {
             Ok(()) => {
                 self.accum.reset();
@@ -592,7 +626,9 @@ impl MlpFuncEngine {
                 match &mut res {
                     Resident::Pooled { buf, n } => {
                         let mut view = SubgroupStateMut::from_buffer(buf.buffer_mut(), *n);
-                        view.apply_update_fused(
+                        view.apply_update_fused_traced(
+                            &self.cfg.trace,
+                            idx as i64,
                             &self.optimizer,
                             self.step,
                             self.accum.grads(idx),
@@ -606,7 +642,9 @@ impl MlpFuncEngine {
                             momentum: &mut st.momentum,
                             variance: &mut st.variance,
                         };
-                        view.apply_update_fused(
+                        view.apply_update_fused_traced(
+                            &self.cfg.trace,
+                            idx as i64,
                             &self.optimizer,
                             self.step,
                             self.accum.grads(idx),

@@ -24,12 +24,23 @@ use std::rc::Rc;
 use mlp_model::Subgroup;
 use mlp_sim::channel::channel;
 use mlp_sim::sync::{MutexGuard, Notify, SemGuard, Semaphore};
+use mlp_trace::{Attrs, Phase};
 
 use crate::config::EngineConfig;
 use crate::policy::allocation::{allocate_counts, assign_subgroups, BandwidthEstimator};
 use crate::policy::cache::FramePlan;
 use crate::sim::env::NodeSimEnv;
 use crate::stats::{BackwardStats, IoEvent, IoKind, TierDistribution, UpdateStats};
+
+/// Virtual-time seconds → timeline nanoseconds. The simulated engines
+/// stamp spans with virtual time so exported timelines show the modelled
+/// overlap, not the (instant) host-side compute. Exported so drivers
+/// emitting their own phase spans stay on the same clock.
+pub fn virtual_ns(secs: f64) -> u64 {
+    (secs * 1e9).round() as u64
+}
+
+use virtual_ns as vns;
 
 /// Where a subgroup's optimizer state currently lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +65,9 @@ struct WorkerState {
     grads_on_tier: Vec<bool>,
     iter: u64,
     estimator: BandwidthEstimator,
+    /// Flushes left in flight by a deferred-drain update phase, settled
+    /// at the start of the next one (or by [`SimWorker::drain_flushes`]).
+    pending_flushes: Vec<mlp_sim::JoinHandle<()>>,
 }
 
 struct Inner {
@@ -121,6 +135,7 @@ impl SimWorker {
                     grads_on_tier: vec![false; m],
                     iter: 0,
                     estimator,
+                    pending_flushes: Vec::new(),
                 }),
                 env,
                 worker_id,
@@ -242,9 +257,24 @@ impl SimWorker {
                             Placement::Host => None,
                         };
                         if let Some(t) = tier {
+                            let gstart = this.inner.env.sim.now_secs();
                             {
                                 let _lock = this.maybe_lock(t).await;
                                 this.inner.env.tiers[t].write(sub.fp32_grad_bytes()).await;
+                            }
+                            if this.inner.cfg.trace.is_enabled() {
+                                this.inner.cfg.trace.complete_span(
+                                    Phase::GradFlush,
+                                    Attrs {
+                                        tid: this.inner.worker_id as u32,
+                                        tier: t as i32,
+                                        subgroup: idx as i64,
+                                        bytes: sub.fp32_grad_bytes(),
+                                        ..Attrs::NONE
+                                    },
+                                    vns(gstart),
+                                    vns(this.inner.env.sim.now_secs()),
+                                );
                             }
                             this.inner.state.borrow_mut().grads_on_tier[idx] = true;
                             offloaded = sub.fp32_grad_bytes();
@@ -265,12 +295,30 @@ impl SimWorker {
             out.grad_bytes_offloaded += offloaded;
         }
         out.duration_s = sim.now_secs() - t0;
+        if self.inner.cfg.trace.is_enabled() {
+            self.inner
+                .cfg
+                .trace
+                .complete_span(
+                    Phase::Backward,
+                    Attrs {
+                        tid: self.inner.worker_id as u32,
+                        ..Attrs::NONE
+                    },
+                    vns(t0),
+                    vns(sim.now_secs()),
+                );
+        }
         out
     }
 
     /// Runs one update phase over all subgroups and returns its statistics.
     pub async fn run_update(&self) -> UpdateStats {
         let sim = self.inner.env.sim.clone();
+        // Deferred-drain mode: settle the previous iteration's lazy
+        // flushes first — on the timeline they overlap the backward pass
+        // that ran in between (the Fig. 5 overlap).
+        self.drain_flushes().await;
         let t0 = sim.now_secs();
         let m = self.inner.subgroups.len();
         let ntiers = self.inner.env.num_tiers();
@@ -351,6 +399,20 @@ impl SimWorker {
                             end_s: end,
                             bytes,
                         });
+                    }
+                    if this.inner.cfg.trace.is_enabled() {
+                        this.inner.cfg.trace.complete_span(
+                            Phase::Fetch,
+                            Attrs {
+                                tid: this.inner.worker_id as u32,
+                                tier: tier as i32,
+                                subgroup: idx as i64,
+                                bytes,
+                                ..Attrs::NONE
+                            },
+                            vns(start),
+                            vns(end),
+                        );
                     }
                     tx.send((idx, frame, false));
                 }
@@ -451,6 +513,20 @@ impl SimWorker {
                                 bytes: fsub.state_bytes(),
                             });
                         }
+                        if this.inner.cfg.trace.is_enabled() {
+                            this.inner.cfg.trace.complete_span(
+                                Phase::Flush,
+                                Attrs {
+                                    tid: this.inner.worker_id as u32,
+                                    tier: tier as i32,
+                                    subgroup: fidx as i64,
+                                    bytes: fsub.state_bytes(),
+                                    ..Attrs::NONE
+                                },
+                                vns(start),
+                                vns(end),
+                            );
+                        }
                         if let Some(n) = this.inner.state.borrow_mut().flushing.remove(&fidx) {
                             n.notify_all();
                         }
@@ -461,8 +537,24 @@ impl SimWorker {
         }
 
         prefetcher.await;
-        for h in flush_handles {
-            h.await;
+        if self.inner.cfg.deferred_flush_drain {
+            // MLP-Offload overlap: leave the lazy flushes in flight — they
+            // settle at the start of the next update phase (or an explicit
+            // [`Self::drain_flushes`]), overlapping whatever runs in
+            // between. Safe because a re-fetch of a still-flushing subgroup
+            // fences on its `flushing` notify, and its host frame is only
+            // released when the write completes. Flushes still in flight at
+            // phase end are accounted on the trace timeline rather than in
+            // this iteration's [`UpdateStats`].
+            self.inner
+                .state
+                .borrow_mut()
+                .pending_flushes
+                .extend(flush_handles);
+        } else {
+            for h in flush_handles {
+                h.await;
+            }
         }
         for h in h2d_handles {
             h.await;
@@ -481,7 +573,34 @@ impl SimWorker {
             .map(RefCell::into_inner)
             .unwrap_or_else(|rc| rc.borrow().clone());
         out.duration_s = sim.now_secs() - t0;
+        if self.inner.cfg.trace.is_enabled() {
+            self.inner
+                .cfg
+                .trace
+                .complete_span(
+                    Phase::Update,
+                    Attrs {
+                        tid: self.inner.worker_id as u32,
+                        ..Attrs::NONE
+                    },
+                    vns(t0),
+                    vns(sim.now_secs()),
+                );
+        }
         out
+    }
+
+    /// Awaits every flush deferred by a previous update phase. A no-op
+    /// unless [`EngineConfig::deferred_flush_drain`] left some in flight;
+    /// call once after the final iteration to settle the tail.
+    pub async fn drain_flushes(&self) {
+        let pending: Vec<_> = {
+            let mut st = self.inner.state.borrow_mut();
+            st.pending_flushes.drain(..).collect()
+        };
+        for h in pending {
+            h.await;
+        }
     }
 }
 
@@ -756,6 +875,50 @@ mod tests {
                 .count(),
             stats.fetches
         );
+    }
+
+    /// Fig. 5: with deferred drain, the lazy flushes of one update phase
+    /// run concurrently (in virtual time) with the next backward pass,
+    /// and the exported spans show the overlap; the default eager drain
+    /// serializes them.
+    #[test]
+    fn deferred_drain_overlaps_flushes_with_next_backward() {
+        let run = |deferred: bool| {
+            let sim = Sim::new();
+            let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme()]));
+            let mut cfg = EngineConfig::mlp_offload();
+            cfg.cache_retention = false; // every subgroup flushes
+            cfg.deferred_flush_drain = deferred;
+            let trace = mlp_trace::TraceSink::enabled();
+            cfg.trace = trace.clone();
+            let w = SimWorker::new(env, 0, cfg, subgroups(8, 100_000_000));
+            sim.block_on({
+                let w = w.clone();
+                async move {
+                    w.run_update().await;
+                    w.run_backward(0.2, true).await;
+                    w.run_update().await;
+                    w.drain_flushes().await;
+                }
+            });
+            let events = trace.events();
+            let backward = events
+                .iter()
+                .find(|e| e.phase == Phase::Backward)
+                .copied()
+                .expect("backward span");
+            let overlapped = events.iter().any(|e| {
+                e.phase == Phase::Flush
+                    && e.ts_ns < backward.ts_ns + backward.dur_ns
+                    && e.ts_ns + e.dur_ns > backward.ts_ns
+            });
+            (overlapped, events.len())
+        };
+        let (overlapped, n) = run(true);
+        assert!(overlapped, "deferred flushes must overlap the backward pass");
+        assert!(n > 0);
+        let (overlapped, _) = run(false);
+        assert!(!overlapped, "eager drain must serialize flushes and backward");
     }
 
     #[test]

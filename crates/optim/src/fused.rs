@@ -15,7 +15,7 @@
 //! single interleaved per-element loop defeats the autovectorizer on the
 //! branchy FP16 conversions), while the subgroup-sized arrays are still
 //! loaded and stored exactly once and no FP32 gradient buffer is ever
-//! allocated — the scratch is [`TILE`] elements on the stack.
+//! allocated — the scratch is `TILE` (512) elements on the stack.
 //!
 //! Bit-exactness: a tile *is* the multi-pass composition
 //! ([`mlp_tensor::convert::upscale_scaled`] → [`OptimizerConfig::step`] →

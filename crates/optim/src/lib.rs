@@ -31,6 +31,7 @@ pub mod fused;
 pub mod optimizer;
 pub mod scaler;
 pub mod state;
+pub mod traced;
 
 pub use adam::AdamConfig;
 pub use optimizer::OptimizerConfig;

@@ -88,6 +88,34 @@ impl<'a> SubgroupStateMut<'a> {
         );
     }
 
+    /// [`SubgroupStateMut::apply_update_fused`] wrapped in a
+    /// [`mlp_trace::Phase::UpdateKernel`] span (see [`crate::traced`]);
+    /// identical to the untraced call when `trace` is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_update_fused_traced(
+        &mut self,
+        trace: &mlp_trace::TraceSink,
+        subgroup: i64,
+        opt: &OptimizerConfig,
+        step: u64,
+        grads_fp16: &[u16],
+        inv_scale: f32,
+        fp16_out: &mut [u16],
+    ) {
+        crate::traced::fused_update_fp16_traced(
+            trace,
+            subgroup,
+            opt,
+            step,
+            self.params,
+            self.momentum,
+            self.variance,
+            grads_fp16,
+            inv_scale,
+            fp16_out,
+        );
+    }
+
     /// Copies the view into an owned [`SubgroupState`] (checkpoints,
     /// tests).
     pub fn to_owned_state(&self, step: u64) -> SubgroupState {

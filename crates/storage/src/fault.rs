@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use mlp_trace::{Attrs, Phase, TraceSink};
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
@@ -205,6 +206,12 @@ pub struct FaultInjectBackend {
     seq: Mutex<HashMap<String, u64>>,
     stats: FaultStats,
     armed: AtomicBool,
+    /// Observability sink: each injected fault drops a
+    /// [`mlp_trace::Phase::FaultInject`] instant on the timeline, so a
+    /// retry storm in the trace can be lined up with the injections that
+    /// caused it. Disabled (zero-cost) unless set via
+    /// [`FaultInjectBackend::with_trace`].
+    trace: TraceSink,
 }
 
 impl FaultInjectBackend {
@@ -218,6 +225,22 @@ impl FaultInjectBackend {
             seq: Mutex::new(HashMap::new()),
             stats: FaultStats::default(),
             armed: AtomicBool::new(true),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Attaches an observability sink; injected faults become
+    /// [`mlp_trace::Phase::FaultInject`] instants.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Marks one injected fault on the timeline.
+    fn note_injection(&self) {
+        if self.trace.is_enabled() {
+            self.trace
+                .instant(Phase::FaultInject, Attrs::NONE, self.trace.now_ns());
         }
     }
 
@@ -282,15 +305,18 @@ impl FaultInjectBackend {
         };
         if self.cfg.latency_spike_p > 0.0 && self.roll(kh, seq, 1) < self.cfg.latency_spike_p {
             self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
             std::thread::sleep(self.cfg.latency_spike);
         }
         let r = self.roll(kh, seq, 2);
         if r < self.cfg.permanent_error_p {
             self.stats.permanent.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
             return Verdict::Permanent;
         }
         if r < self.cfg.permanent_error_p + self.cfg.transient_error_p {
             self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
             return Verdict::Transient;
         }
         if reads_can_be_short
@@ -299,6 +325,7 @@ impl FaultInjectBackend {
         {
             self.stats.short_reads.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
             return Verdict::ShortRead;
         }
         self.stats.passed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter

@@ -29,9 +29,11 @@ pub mod integrity;
 pub mod microbench;
 pub mod sim_tier;
 pub mod spec;
+pub mod traced;
 
 pub use backend::{Backend, DirBackend, MemBackend};
 pub use fault::{classify, is_transient, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend};
 pub use integrity::ChecksummedBackend;
 pub use sim_tier::SimTier;
 pub use spec::{TierKind, TierSpec};
+pub use traced::TracedBackend;

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Synchronization facade for the offload I/O stack.
 //!
 //! Every concurrency-bearing protocol in the I/O path (the tier lock, the
@@ -7,7 +9,8 @@
 //! protocol source can be compiled against two different implementations.
 //!
 //! * **Normal builds** re-export `parking_lot`'s `Mutex`/`Condvar` and the
-//!   `std` atomics verbatim ([`real`] — zero-cost, no behavior change).
+//!   `std` atomics verbatim (the private `real` module — zero-cost, no
+//!   behavior change).
 //! * **Model-checking builds** (`RUSTFLAGS="--cfg loom"`) swap in the
 //!   instrumented primitives from [`model`], a CHESS-style systematic
 //!   concurrency tester that enumerates thread interleavings and fails on

@@ -634,6 +634,7 @@ pub mod sync {
     }
 
     impl<T> Mutex<T> {
+        /// Registers a new mutex with the running explorer.
         pub fn new(value: T) -> Mutex<T> {
             let c = ctx();
             Mutex {
@@ -642,6 +643,8 @@ pub mod sync {
             }
         }
 
+        /// Acquires the lock, parking this model thread if another holds
+        /// it; every acquire is a scheduler decision point.
         pub fn lock(&self) -> MutexGuard<'_, T> {
             let c = ctx();
             c.exec.lock_mutex(c.id, self.id);
@@ -671,6 +674,8 @@ pub mod sync {
         }
     }
 
+    /// RAII guard for [`Mutex`]; releasing it is a scheduler decision
+    /// point, like `parking_lot::MutexGuard`.
     pub struct MutexGuard<'a, T> {
         lock: &'a Mutex<T>,
         /// `None` transiently while parked in `Condvar::wait` (the wait
@@ -722,6 +727,7 @@ pub mod sync {
     }
 
     impl Condvar {
+        /// Registers a new condition variable with the running explorer.
         pub fn new() -> Condvar {
             Condvar {
                 id: ctx().exec.register_condvar(),
@@ -749,12 +755,16 @@ pub mod sync {
             });
         }
 
+        /// Wakes one waiter; the explorer branches over *which* one.
+        /// Always reports `true` (the real count is a scheduler concern).
         pub fn notify_one(&self) -> bool {
             let c = ctx();
             c.exec.condvar_notify(c.id, self.id, false);
             true
         }
 
+        /// Wakes every waiter. Returns 0: callers in the modelled
+        /// protocols never branch on the count.
         pub fn notify_all(&self) -> usize {
             let c = ctx();
             c.exec.condvar_notify(c.id, self.id, true);
@@ -787,16 +797,19 @@ pub mod sync {
             ($name:ident, $std:ident, $prim:ty, rmw) => {
                 model_atomic!($name, $std, $prim);
                 impl $name {
+                    /// Instrumented `fetch_add` (decision point, SeqCst).
                     pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " fetch_add"));
                         self.0.fetch_add(v, Ordering::SeqCst)
                     }
+                    /// Instrumented `fetch_sub` (decision point, SeqCst).
                     pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " fetch_sub"));
                         self.0.fetch_sub(v, Ordering::SeqCst)
                     }
+                    /// Instrumented `fetch_max` (decision point, SeqCst).
                     pub fn fetch_max(&self, v: $prim, _o: Ordering) -> $prim {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " fetch_max"));
@@ -805,27 +818,34 @@ pub mod sync {
                 }
             };
             ($name:ident, $std:ident, $prim:ty) => {
+                #[doc = concat!("Instrumented `", stringify!($std), "`: every access is a scheduler decision point and runs SeqCst.")]
                 pub struct $name(std_atomic::$std);
 
                 impl $name {
+                    /// Wraps an initial value (no decision point).
                     pub fn new(v: $prim) -> $name {
                         $name(std_atomic::$std::new(v))
                     }
+                    /// Instrumented `load` (decision point, SeqCst).
                     pub fn load(&self, _o: Ordering) -> $prim {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " load"));
                         self.0.load(Ordering::SeqCst)
                     }
+                    /// Instrumented `store` (decision point, SeqCst).
                     pub fn store(&self, v: $prim, _o: Ordering) {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " store"));
                         self.0.store(v, Ordering::SeqCst)
                     }
+                    /// Instrumented `swap` (decision point, SeqCst).
                     pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
                         let c = ctx();
                         c.exec.yield_op(c.id, concat!(stringify!($name), " swap"));
                         self.0.swap(v, Ordering::SeqCst)
                     }
+                    /// Instrumented `compare_exchange` (decision point,
+                    /// SeqCst on both orderings).
                     #[allow(clippy::result_unit_err)]
                     pub fn compare_exchange(
                         &self,
@@ -867,6 +887,8 @@ pub mod sync {
     pub mod thread {
         use super::super::*;
 
+        /// Handle to a spawned model thread; mirror of
+        /// `std::thread::JoinHandle`.
         pub struct JoinHandle<T> {
             id: usize,
             slot: StdArc<StdMutex<Option<T>>>,
@@ -885,6 +907,8 @@ pub mod sync {
             }
         }
 
+        /// Spawns `f` as a new schedulable model thread (backed by a real
+        /// OS thread the explorer gates one-at-a-time).
         pub fn spawn<F, T>(f: F) -> JoinHandle<T>
         where
             F: FnOnce() -> T + Send + 'static,
@@ -924,13 +948,16 @@ pub mod sync {
         }
 
         impl Builder {
+            /// Starts an empty builder.
             pub fn new() -> Builder {
                 Builder::default()
             }
+            /// Records a thread name (labels the OS thread only).
             pub fn name(mut self, name: String) -> Builder {
                 self._name = Some(name);
                 self
             }
+            /// Spawns via [`spawn`]; never fails in the model.
             #[allow(clippy::missing_errors_doc)]
             pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
             where

@@ -14,6 +14,7 @@
 //! that bypasses the capacity bound.
 
 use mlp_sync::{Arc, Condvar, Mutex};
+use mlp_trace::{Attrs, Gauge, Phase, TraceSink};
 
 use crate::buffer::HostBuffer;
 
@@ -29,6 +30,12 @@ struct PoolShared {
     available: Condvar,
     buffer_bytes: usize,
     capacity: usize,
+    /// Observability sink: [`Phase::PoolAcquire`]/[`Phase::PoolRelease`]
+    /// instants per checkout/return plus a live `outstanding` gauge.
+    /// Disabled (zero-cost) unless the pool was built with
+    /// [`PinnedPool::new_traced`].
+    trace: TraceSink,
+    outstanding_gauge: Gauge,
 }
 
 /// A fixed-capacity pool of equally sized staging buffers.
@@ -42,10 +49,20 @@ impl PinnedPool {
     /// allocated eagerly (pinned buffers are registered up front in the
     /// real engine, so we pay the allocation once here too).
     pub fn new(capacity: usize, buffer_bytes: usize) -> Self {
+        Self::new_traced(capacity, buffer_bytes, "staging", TraceSink::disabled())
+    }
+
+    /// Like [`PinnedPool::new`], but every checkout/return records a
+    /// [`Phase::PoolAcquire`]/[`Phase::PoolRelease`] instant in `trace`
+    /// and the live checkout count is published on the
+    /// `pool.<name>.outstanding` gauge. A disabled sink makes this
+    /// identical to [`PinnedPool::new`].
+    pub fn new_traced(capacity: usize, buffer_bytes: usize, name: &str, trace: TraceSink) -> Self {
         assert!(capacity > 0, "pool needs at least one buffer");
         let idle = (0..capacity)
             .map(|_| HostBuffer::zeroed(buffer_bytes))
             .collect();
+        let outstanding_gauge = trace.gauge(&format!("pool.{name}.outstanding"));
         PinnedPool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState {
@@ -57,6 +74,8 @@ impl PinnedPool {
                 available: Condvar::new(),
                 buffer_bytes,
                 capacity,
+                trace,
+                outstanding_gauge,
             }),
         }
     }
@@ -111,6 +130,12 @@ impl PinnedPool {
         st.outstanding += 1;
         st.acquires += 1;
         st.high_water = st.high_water.max(st.outstanding);
+        let trace = &self.shared.trace;
+        if trace.is_enabled() {
+            let attrs = Attrs::bytes(self.shared.buffer_bytes as u64);
+            trace.instant(Phase::PoolAcquire, attrs, trace.now_ns());
+            self.shared.outstanding_gauge.set(st.outstanding as u64);
+        }
         PooledBuffer {
             pool: self.clone(),
             buf: Some(buf),
@@ -121,6 +146,12 @@ impl PinnedPool {
         let mut st = self.shared.state.lock();
         st.idle.push(buf);
         st.outstanding -= 1;
+        let trace = &self.shared.trace;
+        if trace.is_enabled() {
+            let attrs = Attrs::bytes(self.shared.buffer_bytes as u64);
+            trace.instant(Phase::PoolRelease, attrs, trace.now_ns());
+            self.shared.outstanding_gauge.set(st.outstanding as u64);
+        }
         drop(st);
         self.shared.available.notify_one();
     }

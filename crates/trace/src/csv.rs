@@ -1,0 +1,85 @@
+//! CSV export for the figure pipeline.
+//!
+//! Two flat files: one row per event (for timeline/overlap figures) and
+//! one row per metric (for bandwidth/counter tables). Both are plain
+//! RFC-4180-without-quoting CSV — every emitted field is numeric or a
+//! `[a-z_.]` identifier, so no escaping is needed.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::metrics::MetricsSnapshot;
+
+/// One row per event:
+/// `seq,kind,phase,pid,tid,tier,subgroup,bytes,ts_ns,dur_ns`.
+pub fn events_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("seq,kind,phase,pid,tid,tier,subgroup,bytes,ts_ns,dur_ns\n");
+    for ev in events {
+        let kind = match ev.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+        };
+        out.push_str(&format!(
+            "{},{kind},{},{},{},{},{},{},{},{}\n",
+            ev.seq,
+            ev.phase.as_str(),
+            ev.pid,
+            ev.tid,
+            ev.tier,
+            ev.subgroup,
+            ev.bytes,
+            ev.ts_ns,
+            ev.dur_ns
+        ));
+    }
+    out
+}
+
+/// One row per metric: `kind,name,value` (histograms contribute their
+/// count, sum, and mean as three rows).
+pub fn metrics_csv(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("kind,name,value\n");
+    for (name, v) in &snapshot.counters {
+        out.push_str(&format!("counter,{name},{v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        out.push_str(&format!("gauge,{name},{v}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        out.push_str(&format!("histogram,{name}.count,{}\n", h.count));
+        out.push_str(&format!("histogram,{name}.sum,{}\n", h.sum));
+        out.push_str(&format!("histogram,{name}.mean,{}\n", h.mean()));
+    }
+    out
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::event::{Attrs, Phase};
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn events_csv_has_one_row_per_event() {
+        let s = TraceSink::with_capacity(8);
+        s.complete_span(Phase::Fetch, Attrs { tier: 0, ..Attrs::bytes(64) }, 10, 20);
+        s.instant(Phase::AioRetry, Attrs::NONE, 30);
+        let csv = events_csv(&s.events());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "seq,kind,phase,pid,tid,tier,subgroup,bytes,ts_ns,dur_ns");
+        assert_eq!(lines[1], "0,span,fetch,0,0,0,-1,64,10,10");
+        assert_eq!(lines[2], "1,instant,aio_retry,0,0,-1,-1,0,30,0");
+    }
+
+    #[test]
+    fn metrics_csv_lists_every_metric() {
+        let s = TraceSink::with_capacity(8);
+        s.counter("reads").add(3);
+        s.gauge("pending").set(2);
+        s.histogram("lat").record(8);
+        let csv = metrics_csv(&s.metrics_snapshot());
+        assert!(csv.contains("counter,reads,3\n"), "{csv}");
+        assert!(csv.contains("gauge,pending,2\n"), "{csv}");
+        assert!(csv.contains("histogram,lat.count,1\n"), "{csv}");
+        assert!(csv.contains("histogram,lat.mean,8\n"), "{csv}");
+    }
+}

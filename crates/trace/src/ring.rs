@@ -1,0 +1,269 @@
+//! Lock-cheap bounded event ring (Vyukov-style MPMC over the `mlp-sync`
+//! facade) with a lossless archive slow path.
+//!
+//! Producers on the I/O hot path claim a slot with one
+//! `compare_exchange` on the tail cursor, copy the fixed-size
+//! [`TraceEvent`] into the slot under a per-slot mutex (uncontended by
+//! construction — the sequence protocol gives each claimant exclusive
+//! ownership of its slot until it publishes), and publish with one
+//! release store. No allocation, no global lock on the fast path.
+//!
+//! When the ring fills faster than the exporter drains it, `push` falls
+//! back to appending under the archive mutex instead of dropping or
+//! overwriting: traces must be complete for the figure pipeline, and a
+//! full ring is an end-of-run / burst condition where a brief lock is
+//! acceptable. The `overflowed` counter reports how often that happened
+//! so capacity can be tuned.
+//!
+//! Because the atomics come from the [`mlp_sync`] facade, compiling with
+//! `RUSTFLAGS="--cfg loom"` swaps them for the in-tree model checker's
+//! instrumented types; `crates/trace/tests/loom_ring.rs` drives the
+//! producer/consumer protocol through every explored schedule.
+
+use mlp_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use mlp_sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// One ring slot: the Vyukov sequence cell plus the payload.
+///
+/// `seq == index` means free for the producer whose tail position is
+/// `index`; `seq == index + 1` means occupied for the consumer whose
+/// head position is `index`. The mutex is never contended: the sequence
+/// protocol hands exclusive slot ownership to one thread at a time, so
+/// `lock()` is a fast uncontended path that keeps the code `unsafe`-free.
+struct Slot {
+    seq: AtomicUsize,
+    data: Mutex<TraceEvent>,
+}
+
+/// Bounded MPMC ring of [`TraceEvent`]s with lossless overflow.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Next position to pop (consumer cursor).
+    head: AtomicUsize,
+    /// Next position to push (producer cursor).
+    tail: AtomicUsize,
+    /// Events that arrived while the ring was full.
+    archive: Mutex<Vec<TraceEvent>>,
+    /// How many pushes took the archive slow path.
+    overflowed: AtomicU64,
+}
+
+impl EventRing {
+    /// Creates a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                data: Mutex::new(TraceEvent::EMPTY),
+            })
+            .collect();
+        EventRing {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            archive: Mutex::new(Vec::new()),
+            overflowed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one event. Never fails and never drops: if the ring is
+    /// full the event goes to the archive (see module docs).
+    pub fn push(&self, ev: TraceEvent) {
+        let mut pos = self.tail.load(Ordering::Acquire);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free at our position: claim it by advancing tail.
+                match self.tail.compare_exchange(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        *slot.data.lock() = ev;
+                        // Publish: consumers at head == pos may now take it.
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq.wrapping_sub(pos) as isize) < 0 {
+                // The slot still holds an unconsumed event from one lap
+                // ago: the ring is full. Archive instead of dropping.
+                self.overflowed.fetch_add(1, Ordering::AcqRel);
+                self.archive.lock().push(ev);
+                return;
+            } else {
+                // Another producer claimed `pos` but has not published
+                // yet, or tail moved on; reload and retry.
+                pos = self.tail.load(Ordering::Acquire);
+            }
+        }
+    }
+
+    /// Takes the oldest event out of the ring, if any. (Archive events
+    /// are only surfaced by [`EventRing::drain`].)
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.head.load(Ordering::Acquire);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.head.compare_exchange(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        let ev = *slot.data.lock();
+                        // Free the slot for the producer one lap ahead.
+                        slot.seq
+                            .store(pos.wrapping_add(self.slots.len()), Ordering::Release);
+                        return Some(ev);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq.wrapping_sub(expected) as isize) < 0 {
+                // Slot not yet published at this position: ring empty
+                // (or a producer mid-publish; callers drain at export
+                // time, after producers quiesce, so treat as empty).
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Acquire);
+            }
+        }
+    }
+
+    /// Drains everything recorded so far — ring and archive — sorted by
+    /// global sequence number. Called at export time.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out.append(&mut self.archive.lock());
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// How many pushes were routed to the archive because the ring was
+    /// full. Nonzero means `with_capacity` should be raised (events are
+    /// still complete — this is a performance signal, not data loss).
+    pub fn overflow_count(&self) -> u64 {
+        self.overflowed.load(Ordering::Acquire)
+    }
+
+    /// Events currently buffered (ring + archive), approximate under
+    /// concurrent pushes.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head) + self.archive.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind: EventKind::Instant,
+            phase: Phase::Fetch,
+            ts_ns: seq * 10,
+            ..TraceEvent::EMPTY
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..8 {
+            r.push(ev(i));
+        }
+        for i in 0..8 {
+            assert_eq!(r.pop().map(|e| e.seq), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.overflow_count(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 2);
+        assert_eq!(EventRing::with_capacity(5).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(8).capacity(), 8);
+    }
+
+    #[test]
+    fn overflow_archives_instead_of_dropping() {
+        let r = EventRing::with_capacity(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.overflow_count(), 6);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 10, "no event lost");
+        let seqs: Vec<u64> = drained.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>(), "drain sorts by seq");
+    }
+
+    #[test]
+    fn ring_is_reusable_after_drain() {
+        let r = EventRing::with_capacity(4);
+        for round in 0..3u64 {
+            for i in 0..4 {
+                r.push(ev(round * 4 + i));
+            }
+            assert_eq!(r.drain().len(), 4);
+        }
+        assert_eq!(r.overflow_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        use std::sync::Arc;
+        let r = Arc::new(EventRing::with_capacity(64));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        r.push(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("producer thread");
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 4000);
+        let mut seqs: Vec<u64> = drained.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4000, "no duplicates, no losses");
+    }
+}

@@ -14,11 +14,13 @@ use mlp_model::config::OPTIM_STATE_BYTES_PER_PARAM;
 use mlp_model::memory::{MemoryEstimate, MemoryInputs};
 use mlp_model::shard::{ShardLayout, DEFAULT_SUBGROUP_PARAMS};
 use mlp_model::ModelConfig;
+use mlp_offload::sim::engine::virtual_ns;
 use mlp_offload::sim::{NodeSimEnv, NodeSpec, SimWorker};
 use mlp_offload::stats::{BackwardStats, IterationBreakdown, TierDistribution, UpdateStats};
 use mlp_offload::EngineConfig;
 use mlp_sim::Sim;
 use mlp_storage::TierSpec;
+use mlp_trace::{Attrs, Phase};
 
 use crate::comm::comm_times;
 use crate::compute::compute_times;
@@ -188,11 +190,13 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
 
     let iterations = setup.iterations;
     let accum = setup.grad_accum_steps;
+    let trace = engine_cfg.trace.clone();
     let sim2 = sim.clone();
     sim.block_on(async move {
         let sim = sim2;
         let mut out = Vec::with_capacity(iterations);
         for _ in 0..iterations {
+            let i0 = sim.now_secs();
             let mut breakdown = IterationBreakdown::default();
             let mut backward = BackwardStats::default();
 
@@ -201,6 +205,14 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 let f0 = sim.now_secs();
                 sim.sleep(ct.forward_s + cm.forward_s).await;
                 breakdown.forward_s += sim.now_secs() - f0;
+                if trace.is_enabled() {
+                    trace.complete_span(
+                        Phase::Forward,
+                        Attrs::NONE,
+                        virtual_ns(f0),
+                        virtual_ns(sim.now_secs()),
+                    );
+                }
 
                 // Backward micro-step on every worker.
                 let final_step = micro == accum - 1;
@@ -285,6 +297,14 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 }
             }
 
+            if trace.is_enabled() {
+                trace.complete_span(
+                    Phase::Iteration,
+                    Attrs::NONE,
+                    virtual_ns(i0),
+                    virtual_ns(sim.now_secs()),
+                );
+            }
             out.push(IterationResult {
                 breakdown,
                 update,
@@ -292,6 +312,11 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 distribution,
                 update_window: (u0, u1),
             });
+        }
+        // Settle flushes still in flight under deferred-drain mode so the
+        // exported timeline (and tier accounting) is complete.
+        for w in &workers {
+            w.drain_flushes().await;
         }
         out
     })

@@ -15,6 +15,7 @@ use mlp_optim::optimizer::OptimizerConfig;
 use mlp_optim::scaler::DynamicLossScaler;
 use mlp_optim::SubgroupState;
 use mlp_tensor::convert;
+use mlp_trace::{Attrs, Phase};
 
 /// Produces loss and FP16 gradients for the current parameters — the
 /// stand-in for a framework's forward/backward passes.
@@ -176,6 +177,7 @@ pub fn train(
         "dim must split into subgroups"
     );
     let subgroups = dim / cfg.subgroup_len;
+    let trace = cfg.engine.trace.clone();
 
     let initial: Vec<SubgroupState> = (0..subgroups)
         .map(|_| SubgroupState::new(vec![0.0; cfg.subgroup_len]))
@@ -193,6 +195,8 @@ pub fn train(
     };
 
     for _ in 0..iterations {
+        // RAII span: covers skipped (overflow) iterations too.
+        let _iter_span = trace.span(Phase::Iteration, Attrs::NONE);
         let params: Vec<f32> = with_redrives(
             cfg.iteration_retries,
             &mut report.redriven_phases,
@@ -340,7 +344,7 @@ mod tests {
         let mut faulty_tiers = Vec::new();
         for (i, (name, bw)) in [("a", 2.0), ("b", 1.0)].iter().enumerate() {
             let inject = Arc::new(FaultInjectBackend::new(
-                Arc::new(MemBackend::new(name)) as Arc<dyn Backend>,
+                Arc::new(MemBackend::new(*name)) as Arc<dyn Backend>,
                 FaultConfig::transient(101 + 101 * i as u64, 0.2),
             ));
             faulty_tiers.push(

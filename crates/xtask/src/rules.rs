@@ -22,13 +22,19 @@
 //! * `relaxed-audit` — every `Ordering::Relaxed` must carry a
 //!   `// relaxed-ok: <reason>` annotation asserting the atomic is a
 //!   pure counter (never used to publish cross-thread state).
+//! * `trace-sink` — no direct `println!`/`eprintln!`/`print!`/`eprint!`/
+//!   `dbg!` in the instrumented hot-path crates: diagnostics on the I/O
+//!   path must go through the `mlp-trace` sink (a stray print stalls
+//!   submission threads on terminal I/O and bypasses the timeline).
+//!   Waivable per-site with `// lint:allow(trace-sink): <reason>` for
+//!   genuine CLI surfaces.
 
 use crate::lexer::{mask, test_regions};
 
 /// Crates whose `src/` is an I/O hot path (panics are lint errors).
 pub const HOT_PATH_CRATES: &[&str] = &["aio", "storage", "tensor", "core", "zero3"];
 /// Crates ported onto the `mlp-sync` facade (direct primitives banned).
-pub const FACADE_CRATES: &[&str] = &["aio", "tensor"];
+pub const FACADE_CRATES: &[&str] = &["aio", "tensor", "trace"];
 /// The only crate allowed to contain `unsafe` code.
 pub const UNSAFE_ALLOWED_CRATES: &[&str] = &["tensor"];
 
@@ -102,6 +108,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Violation> {
     v.extend(unsafe_confinement(ctx));
     v.extend(facade_only(ctx));
     v.extend(relaxed_audit(ctx));
+    v.extend(trace_sink(ctx));
     v
 }
 
@@ -340,6 +347,43 @@ fn relaxed_audit(ctx: &FileCtx) -> Vec<Violation> {
     out
 }
 
+fn trace_sink(ctx: &FileCtx) -> Vec<Violation> {
+    if !HOT_PATH_CRATES.contains(&ctx.crate_dir.as_str()) {
+        return Vec::new();
+    }
+    const MACROS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+    let mut out = Vec::new();
+    for (i, line) in ctx.code.iter().enumerate() {
+        if ctx.in_test[i] || waived(ctx, i, "trace-sink") {
+            continue;
+        }
+        for mac in MACROS {
+            // `mac` ends in '!'; word_positions checks the left boundary,
+            // so `my_println!` or `sprint!` are not flagged.
+            if !word_positions(line, &mac[..mac.len() - 1])
+                .iter()
+                .any(|&p| line[p..].starts_with(mac))
+            {
+                continue;
+            }
+            out.push(Violation {
+                rel_path: ctx.rel_path.clone(),
+                line: i + 1,
+                rule: "trace-sink",
+                msg: format!(
+                    "`{mac}` on an instrumented hot path: emit through the \
+                     mlp-trace sink (span/instant/counter) instead — a \
+                     direct print stalls I/O threads on the terminal and \
+                     bypasses the timeline; waive with \
+                     `// lint:allow(trace-sink): <reason>` for genuine CLI \
+                     output"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +535,33 @@ mod tests {
         assert!(relaxed_audit(&ctx("sync", cold)).is_empty());
     }
 
+    // ---- trace-sink ----------------------------------------------------
+
+    #[test]
+    fn direct_prints_on_hot_paths_are_flagged() {
+        let src = "fn f() {\n    println!(\"submitted\");\n    eprintln!(\"retry {n}\");\n    dbg!(op);\n}\n";
+        let v = trace_sink(&ctx("aio", src));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "trace-sink"));
+        // Crates outside the instrumented hot path may print freely
+        // (bench renderers, the repro CLI).
+        assert!(trace_sink(&ctx("bench", src)).is_empty());
+        assert!(trace_sink(&ctx("train", src)).is_empty());
+    }
+
+    #[test]
+    fn trace_sink_skips_tests_waivers_and_lookalikes() {
+        let tested = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"debugging a test\"); }\n}\n";
+        assert!(trace_sink(&ctx("aio", tested)).is_empty());
+
+        let waived = "// lint:allow(trace-sink): operator-facing CLI summary, not I/O-path\nprintln!(\"{summary}\");\n";
+        assert!(trace_sink(&ctx("core", waived)).is_empty());
+
+        let lookalikes =
+            "my_println!(x);\nlet s = \"println! in a string\";\n// println! in a comment\n";
+        assert!(trace_sink(&ctx("aio", lookalikes)).is_empty());
+    }
+
     // ---- integration: check_file over a multi-violation fixture --------
 
     #[test]
@@ -499,6 +570,7 @@ mod tests {
                    fn f(x: Option<u8>, p: *const u8) -> u8 {\n\
                    \x20   stats.fetch_add(1, Ordering::Relaxed);\n\
                    \x20   let v = x.unwrap();\n\
+                   \x20   eprintln!(\"v = {v}\");\n\
                    \x20   unsafe { *p }\n\
                    }\n";
         let v = check_file(&FileCtx::from_source("crates/aio/src/bad.rs", "aio", src));
@@ -511,6 +583,7 @@ mod tests {
                 "hot-path-panic",
                 "relaxed-audit",
                 "safety-comment",
+                "trace-sink",
                 "unsafe-confinement",
             ]
         );

@@ -24,13 +24,14 @@ use std::io;
 use std::sync::Arc;
 
 use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
-use mlp_optim::fused::fused_update_f32;
 use mlp_optim::optimizer::OptimizerConfig;
+use mlp_optim::traced::fused_update_f32_traced;
 use mlp_optim::{AdamConfig, SubgroupState, SubgroupStateMut};
 use mlp_storage::Backend;
 use mlp_tensor::convert;
 use mlp_tensor::pool::PinnedPool;
 use mlp_tensor::HostBuffer;
+use mlp_trace::{Attrs, Phase, TraceSink};
 
 /// Result of one baseline update phase.
 #[derive(Debug)]
@@ -39,10 +40,12 @@ pub struct Zero3UpdateOutcome {
     pub fp16_params: Vec<Vec<u16>>,
     /// Subgroups fetched (always all of them: the baseline thrashes).
     pub fetches: usize,
-    /// FP32 gradient bytes moved through storage this iteration
-    /// (flushed during backward + fetched during update; a re-driven
-    /// iteration counts the re-moved bytes too — they really crossed the
-    /// tier twice).
+    /// FP32 gradient bytes moved through storage this iteration, as
+    /// *logical per-iteration accounting*: flushed once during backward
+    /// plus fetched once per subgroup during update, regardless of how
+    /// many times a failed attempt was re-driven. Physically re-moved
+    /// bytes (re-flushes, re-fetches) show up on the trace timeline and
+    /// the tier byte counters instead.
     pub grad_bytes_through_storage: u64,
 }
 
@@ -71,8 +74,13 @@ pub struct Zero3FuncEngine {
     /// Gradient bytes flushed by the last successful `flush_gradients`
     /// (assigned, not accumulated: a re-driven flush is idempotent).
     grad_flush_bytes: u64,
-    /// Gradient bytes fetched during the current update phase.
+    /// Gradient bytes consumed by this iteration's update, accounted at
+    /// each subgroup's durability transition — so a subgroup fetched in
+    /// a failed attempt and re-fetched on the re-drive counts once.
     grad_fetch_bytes: u64,
+    /// Observability sink (cloned from [`AioConfig::trace`]; disabled by
+    /// default, in which case every instrumentation point is a no-op).
+    trace: TraceSink,
     /// Per-subgroup "this iteration's update is durable on storage" bits
     /// of a failed update phase awaiting a re-drive.
     in_progress: Option<Vec<bool>>,
@@ -99,6 +107,7 @@ impl Zero3FuncEngine {
         initial: Vec<SubgroupState>,
         aio: AioConfig,
     ) -> io::Result<Self> {
+        let trace = aio.trace.clone();
         let engine = AioEngine::new(backend, aio);
         let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
         let pipeline_depth = 3;
@@ -107,7 +116,7 @@ impl Zero3FuncEngine {
         // acquires unblock as I/O workers complete flushes, so a small
         // fixed pool bounds staging memory without deadlock.
         let buffer_bytes = subgroup_lens.iter().copied().max().unwrap_or(1).max(1) * 12;
-        let pool = PinnedPool::new(2 * pipeline_depth + 4, buffer_bytes);
+        let pool = PinnedPool::new_traced(2 * pipeline_depth + 4, buffer_bytes, "zero3", trace.clone());
         let me = Zero3FuncEngine {
             grad_accum: subgroup_lens.iter().map(|&n| vec![0.0; n]).collect(),
             engine,
@@ -123,6 +132,7 @@ impl Zero3FuncEngine {
             inv_loss_scale: 1.0,
             grad_flush_bytes: 0,
             grad_fetch_bytes: 0,
+            trace,
             in_progress: None,
         };
         let mut handles = Vec::new();
@@ -212,6 +222,7 @@ impl Zero3FuncEngine {
     /// every subgroup's gradients (writes are idempotent), so a transient
     /// outage costs one retry, not the iteration.
     pub fn flush_gradients(&mut self) -> io::Result<()> {
+        let phase_start = self.trace.now_ns();
         let mut handles = Vec::new();
         let mut total = 0u64;
         for (idx, g) in self.grad_accum.iter().enumerate() {
@@ -240,6 +251,14 @@ impl Zero3FuncEngine {
             if let Err((e, _payload)) = h.wait_flush() {
                 first_err.get_or_insert(e);
             }
+        }
+        if self.trace.is_enabled() {
+            self.trace.complete_span(
+                Phase::GradFlush,
+                Attrs::bytes(total),
+                phase_start,
+                self.trace.now_ns(),
+            );
         }
         match first_err {
             None => {
@@ -282,11 +301,20 @@ impl Zero3FuncEngine {
             fetches: 0,
             grad_bytes_through_storage: 0,
         };
+        let phase_start = self.trace.now_ns();
         let result = if self.fused {
             self.run_update_fused(&mut outcome, &mut progress)
         } else {
             self.run_update_multipass(&mut outcome, &mut progress)
         };
+        if self.trace.is_enabled() {
+            self.trace.complete_span(
+                Phase::Update,
+                Attrs::NONE,
+                phase_start,
+                self.trace.now_ns(),
+            );
+        }
         match result {
             Ok(()) => {
                 for buf in &mut self.grad_accum {
@@ -309,9 +337,13 @@ impl Zero3FuncEngine {
     /// fetches recycle their staging buffers, and each flush marks its
     /// subgroup durable on success. A failed flush leaves the previous
     /// object intact (its reclaimed payload just drops), so the subgroup
-    /// stays marked for a full re-update. Returns the first error,
+    /// stays marked for a full re-update. Gradient-fetch bytes are
+    /// accounted here, at the durability transition, so each subgroup
+    /// contributes exactly once per iteration no matter how many times
+    /// a failed attempt re-fetched it. Returns the first error,
     /// preferring the pass's own.
     fn drain_update(
+        &mut self,
         pass: io::Result<()>,
         pending: VecDeque<(usize, OpHandle, Option<OpHandle>)>,
         flush_handles: Vec<(usize, OpHandle)>,
@@ -333,7 +365,10 @@ impl Zero3FuncEngine {
         }
         for (idx, h) in flush_handles {
             match h.wait_flush() {
-                Ok(()) => progress[idx] = true,
+                Ok(()) => {
+                    progress[idx] = true;
+                    self.grad_fetch_bytes += (self.subgroup_lens[idx] * 4) as u64;
+                }
                 Err((e, _payload)) => {
                     first_err.get_or_insert(e);
                 }
@@ -353,7 +388,7 @@ impl Zero3FuncEngine {
         let mut pending: VecDeque<(usize, OpHandle, Option<OpHandle>)> = VecDeque::new();
         let mut flush_handles: Vec<(usize, OpHandle)> = Vec::new();
         let pass = self.fused_pass(outcome, progress, &mut pending, &mut flush_handles);
-        Self::drain_update(pass, pending, flush_handles, progress, true)
+        self.drain_update(pass, pending, flush_handles, progress, true)
     }
 
     fn fused_pass(
@@ -432,14 +467,14 @@ impl Zero3FuncEngine {
                             ),
                         ));
                     }
-                    self.grad_fetch_bytes += grad_n as u64;
-
                     // Single fused pass: scale + Adam + FP16 emission,
                     // mutating the fetched state buffer in place.
                     let mut fp16 = vec![0u16; n];
                     {
                         let view = SubgroupStateMut::from_buffer(state_buf.buffer_mut(), n);
-                        fused_update_f32(
+                        fused_update_f32_traced(
+                            &self.trace,
+                            idx as i64,
                             &self.opt,
                             self.step,
                             view.params,
@@ -483,7 +518,7 @@ impl Zero3FuncEngine {
         let mut pending: VecDeque<(usize, OpHandle, Option<OpHandle>)> = VecDeque::new();
         let mut flush_handles: Vec<(usize, OpHandle)> = Vec::new();
         let pass = self.multipass_pass(outcome, progress, &mut pending, &mut flush_handles);
-        Self::drain_update(pass, pending, flush_handles, progress, false)
+        self.drain_update(pass, pending, flush_handles, progress, false)
     }
 
     fn multipass_pass(
@@ -570,8 +605,6 @@ impl Zero3FuncEngine {
                             ),
                         ));
                     }
-                    self.grad_fetch_bytes += grad_bytes.len() as u64;
-
                     let grads = HostBuffer::from_bytes(grad_bytes);
                     let mut g = grads.read_f32(0, state.len());
                     if self.inv_loss_scale != 1.0 {
@@ -752,6 +785,64 @@ mod tests {
         b.update().unwrap();
 
         assert_eq!(a.master_params().unwrap(), b.master_params().unwrap());
+    }
+
+    /// Regression: `grad_bytes_through_storage` is per-iteration logical
+    /// accounting, so a re-driven iteration must report the same total as
+    /// a never-failed one. The old code counted gradient fetches at the
+    /// moment of physical I/O, so a subgroup fetched in a failed attempt
+    /// and re-fetched on the re-drive was counted twice.
+    #[test]
+    fn redriven_iteration_counts_gradient_bytes_once() {
+        use mlp_storage::{FaultConfig, FaultInjectBackend};
+        let adam = AdamConfig::default();
+
+        let mut reference = Zero3FuncEngine::new(
+            Arc::new(MemBackend::new("ref")),
+            adam,
+            0,
+            init_states(4, 16),
+        )
+        .unwrap();
+        let grads = grads_for(4, 16, 0.0);
+        reference.accumulate_gradients(&grads);
+        reference.flush_gradients().unwrap();
+        let clean = reference.update().unwrap();
+
+        // Sweep seeds so the failed attempt exercises mixed outcomes
+        // (fetches that succeed, flushes that fail, …) across both paths.
+        for fused in [true, false] {
+            for seed in 0..8u64 {
+                let inject = FaultInjectBackend::new(
+                    Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>,
+                    FaultConfig::permanent(seed, 0.5),
+                );
+                inject.set_armed(false);
+                let inject = Arc::new(inject);
+                let mut engine = Zero3FuncEngine::new(
+                    Arc::clone(&inject) as Arc<dyn Backend>,
+                    adam,
+                    0,
+                    init_states(4, 16),
+                )
+                .unwrap();
+                engine.set_fused(fused);
+                engine.accumulate_gradients(&grads);
+                engine.flush_gradients().unwrap();
+
+                inject.set_armed(true);
+                let mut redriven = engine.update();
+                inject.set_armed(false);
+                while redriven.is_err() {
+                    redriven = engine.update();
+                }
+                assert_eq!(
+                    redriven.unwrap().grad_bytes_through_storage,
+                    clean.grad_bytes_through_storage,
+                    "fused={fused} seed={seed}"
+                );
+            }
+        }
     }
 
     #[test]
