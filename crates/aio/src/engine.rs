@@ -1,5 +1,12 @@
-//! The asynchronous I/O engine: submission queue → worker pool →
-//! completion handles.
+//! The asynchronous I/O engine: submission queue → pluggable
+//! [`IoEngine`](crate::io_engine::IoEngine) backend → completion handles.
+//!
+//! [`AioEngine`] is the stable façade: `submit_*` / `wait*` / `drain`,
+//! retry/backoff, statistics, and trace instrumentation are identical no
+//! matter which engine backend moves the bytes. The backend — worker
+//! pool, inline sync, mmap, or io_uring — is selected per
+//! [`AioConfig::engine`] (default: probe-based auto-selection, see
+//! [`crate::io_engine::EngineKind`]).
 //!
 //! Failure semantics: every backend call runs under the engine's
 //! [`RetryPolicy`] (bounded attempts with exponential backoff for
@@ -10,19 +17,18 @@
 //! [`io::Error`] rather than leaving waiters blocked forever.
 
 use std::io;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
 use mlp_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use mlp_sync::{thread, Arc, Mutex};
 
 use mlp_storage::fault::is_transient;
 use mlp_storage::Backend;
 use mlp_tensor::PooledBuffer;
-use mlp_trace::{Attrs, Counter, Phase, TraceSink};
+use mlp_trace::{Counter, Gauge, Phase, TraceSink};
 
 use crate::completion::{CompletionSlot, PendingGauge};
+use crate::io_engine::{EngineCaps, EngineKind, EngineShared, IoEngine};
 
 /// Bounded-attempt exponential-backoff retry of transient I/O errors,
 /// executed inside the I/O workers around every backend call.
@@ -72,7 +78,11 @@ impl RetryPolicy {
     }
 
     /// Runs `f` under this policy, bumping `retries` once per re-attempt.
-    fn run<T>(&self, retries: &AtomicU64, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    pub(crate) fn run<T>(
+        &self,
+        retries: &AtomicU64,
+        mut f: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
         let mut attempt = 1u32;
         loop {
             match f() {
@@ -98,10 +108,35 @@ impl RetryPolicy {
 }
 
 /// Engine configuration.
+///
+/// # Tuning knobs
+///
+/// * [`AioConfig::engine`] — which [`EngineKind`] moves the bytes. The
+///   default, [`EngineKind::Auto`], probes the host (io_uring syscall
+///   availability) and the backend (file-backed or not) and picks the
+///   fastest engine that fits; pin a specific kind to override.
+/// * [`AioConfig::workers`] — thread count for the thread-backed engines
+///   (`Pool`, `Mmap`). Defaults to half the host's logical CPUs, clamped
+///   to `2..=8`: offload I/O should overlap compute, not displace it,
+///   and blocking-pool throughput flattens past a handful of threads.
+///   Ignored by `Sync` (inline) and `Uring` (single driver thread).
+/// * [`AioConfig::queue_depth`] — bound on queued + in-flight ops before
+///   `submit_*` blocks; also the io_uring submission-queue size.
+///   Defaults to `32 × workers`, clamped to `64..=512`: deep enough to
+///   keep a high-queue-depth NVMe busy, shallow enough to bound staging
+///   memory.
+/// * [`AioConfig::retry`] — transient-error retry/backoff policy.
+///
+/// Benchmarks and deterministic tests should start from
+/// [`AioConfig::deterministic`], which pins the pre-probing values
+/// (`Pool`, 2 workers, depth 64) so results do not vary with the host.
 #[derive(Clone, Debug)]
 pub struct AioConfig {
+    /// The I/O engine backend that executes operations; see
+    /// [`crate::io_engine`] for the capability matrix.
+    pub engine: EngineKind,
     /// I/O worker threads (the tier's preferred I/O parallelism; a PFS
-    /// benefits from several, §3.2).
+    /// benefits from several, §3.2). Used by the thread-backed engines.
     pub workers: usize,
     /// Maximum queued + in-flight operations before `submit_*` blocks,
     /// modelling a bounded kernel submission queue.
@@ -123,8 +158,31 @@ pub struct AioConfig {
 }
 
 impl Default for AioConfig {
+    /// Probe-derived defaults: `Auto` engine selection, workers/queue
+    /// depth sized from the host's logical CPU count (see the type-level
+    /// docs for the formulas). Use [`AioConfig::deterministic`] where
+    /// host-independent behaviour matters more than throughput.
     fn default() -> Self {
+        let workers = probed_default_workers();
         AioConfig {
+            engine: EngineKind::Auto,
+            workers,
+            queue_depth: (workers * 32).clamp(64, 512),
+            retry: RetryPolicy::default(),
+            trace: TraceSink::disabled(),
+            trace_tier: -1,
+        }
+    }
+}
+
+impl AioConfig {
+    /// The historical fixed-size configuration (`Pool` engine, 2 workers,
+    /// queue depth 64): identical behaviour on every host, no probing.
+    /// Deterministic tests and cross-host comparable benchmarks start
+    /// here.
+    pub fn deterministic() -> Self {
+        AioConfig {
+            engine: EngineKind::Pool,
             workers: 2,
             queue_depth: 64,
             retry: RetryPolicy::default(),
@@ -134,7 +192,16 @@ impl Default for AioConfig {
     }
 }
 
-enum OpKind {
+/// Half the logical CPUs, clamped to `2..=8` (see [`AioConfig`] docs).
+fn probed_default_workers() -> usize {
+    // lint:allow(facade-only): pure hardware query with no concurrency
+    // semantics to model; the sync facade intentionally does not wrap it
+    std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).clamp(2, 8))
+        .unwrap_or(2)
+}
+
+pub(crate) enum OpKind {
     Write(Vec<u8>),
     /// Write from a pooled staging buffer (first `len` bytes); the buffer
     /// returns to its pool when the op completes — the paper's explicit
@@ -151,7 +218,7 @@ enum OpKind {
 
 impl OpKind {
     /// Trace phase recorded for this operation's completion span.
-    fn phase(&self) -> Phase {
+    pub(crate) fn phase(&self) -> Phase {
         match self {
             OpKind::Write(..) | OpKind::WritePooled(..) => Phase::AioWrite,
             OpKind::Read | OpKind::ReadPooled(..) => Phase::AioRead,
@@ -161,7 +228,7 @@ impl OpKind {
 }
 
 /// What a completed operation produced.
-enum OpOutput {
+pub(crate) enum OpOutput {
     /// Writes and deletes.
     None,
     /// Plain reads.
@@ -193,21 +260,22 @@ impl std::fmt::Debug for ReclaimedWrite {
     }
 }
 
-struct Op {
-    key: String,
-    kind: OpKind,
-    state: Arc<OpState>,
+/// One queued operation: the unit an [`IoEngine`] executes.
+pub(crate) struct Op {
+    pub(crate) key: String,
+    pub(crate) kind: OpKind,
+    pub(crate) state: Arc<OpState>,
 }
 
-struct OpState {
+pub(crate) struct OpState {
     /// Single-producer completion hand-off; the publish/consume protocol
     /// (and its model-checked invariants) live in [`crate::completion`].
-    result: CompletionSlot<io::Result<OpOutput>>,
-    bytes: AtomicUsize,
+    pub(crate) result: CompletionSlot<io::Result<OpOutput>>,
+    pub(crate) bytes: AtomicUsize,
     /// Failed-write payload, set by the worker before the error is
     /// published. Dropped (pooled buffers recycle) if the waiter does not
     /// collect it via [`OpHandle::wait_flush`].
-    reclaim: Mutex<Option<ReclaimedWrite>>,
+    pub(crate) reclaim: Mutex<Option<ReclaimedWrite>>,
 }
 
 impl OpState {
@@ -298,34 +366,50 @@ impl OpHandle {
 /// checks). The pending-op count is *not* a statistic (drain blocks on
 /// it), so it lives in the mutex-guarded [`PendingGauge`] instead.
 #[derive(Default)]
-struct Stats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    read_bytes: AtomicU64,
-    write_bytes: AtomicU64,
-    retries: AtomicU64,
-    errors: AtomicU64,
-    busy_nanos: AtomicU64,
+pub(crate) struct Stats {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) read_bytes: AtomicU64,
+    pub(crate) write_bytes: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
     /// Submitted-but-not-completed count with the `drain` barrier; see
     /// [`crate::completion::PendingGauge`] for the protocol.
-    pending: PendingGauge,
+    pub(crate) pending: PendingGauge,
 }
 
 /// Registry-backed mirrors of the engine's [`Stats`], published under
 /// `aio.<backend>.<meter>` when the engine is constructed with an
 /// enabled [`TraceSink`]. Detached (free-floating, never exported)
 /// when tracing is off, so the mirror writes stay off the books.
-struct TraceMeters {
-    reads: Counter,
-    writes: Counter,
-    read_bytes: Counter,
-    write_bytes: Counter,
-    retries: Counter,
-    errors: Counter,
+pub(crate) struct TraceMeters {
+    pub(crate) reads: Counter,
+    pub(crate) writes: Counter,
+    pub(crate) read_bytes: Counter,
+    pub(crate) write_bytes: Counter,
+    pub(crate) retries: Counter,
+    pub(crate) errors: Counter,
+    /// Batched io_uring submissions (`io_uring_enter` calls that pushed
+    /// at least one SQE). Only the uring driver writes this, so model
+    /// checking builds (which compile the raw engines out) see it dead.
+    #[cfg_attr(loom, allow(dead_code))]
+    pub(crate) batches: Counter,
+    /// Ops served by an engine's raw kernel path (io_uring SQE, mmap)
+    /// instead of a portable backend call.
+    pub(crate) raw_ops: Counter,
+    /// Ops an engine intended for its raw path but degraded to the
+    /// portable backend call (decorated backend, oversized object,
+    /// filesystem refusal, raw-path error). Written only by the raw
+    /// engines, which model checking builds compile out.
+    #[cfg_attr(loom, allow(dead_code))]
+    pub(crate) fallback_ops: Counter,
+    /// Submitted-but-not-completed ops, mirrored from the pending gauge.
+    pub(crate) inflight: Gauge,
 }
 
 impl TraceMeters {
-    fn new(trace: &TraceSink, backend: &str) -> Self {
+    pub(crate) fn new(trace: &TraceSink, backend: &str) -> Self {
         let c = |meter: &str| trace.counter(&format!("aio.{backend}.{meter}"));
         TraceMeters {
             reads: c("reads"),
@@ -334,6 +418,10 @@ impl TraceMeters {
             write_bytes: c("write_bytes"),
             retries: c("retries"),
             errors: c("errors"),
+            batches: c("batches"),
+            raw_ops: c("raw_ops"),
+            fallback_ops: c("fallback_ops"),
+            inflight: trace.gauge(&format!("aio.{backend}.inflight")),
         }
     }
 }
@@ -347,7 +435,7 @@ impl TraceMeters {
 /// buffers return to
 /// their pool on every path: success (write) / handed back (read), error
 /// (dropped here), and panic (dropped during unwind).
-fn execute_op(
+pub(crate) fn execute_op(
     backend: &dyn Backend,
     retry: &RetryPolicy,
     stats: &Stats,
@@ -434,130 +522,46 @@ fn execute_op(
 
 /// A per-tier asynchronous I/O engine.
 ///
-/// Dropping the engine closes the submission queue and joins the workers;
-/// all already-submitted operations complete first.
+/// Dropping the engine closes the submission queue and joins the engine
+/// backend's threads; all already-submitted operations complete first.
 pub struct AioEngine {
-    tx: Option<Sender<Op>>,
-    workers: Vec<thread::JoinHandle<()>>,
-    stats: Arc<Stats>,
+    /// `Option` so Drop can tear the backend down (joining its threads)
+    /// before the shared state; always `Some` while the engine is live.
+    engine: Option<Box<dyn IoEngine>>,
+    shared: Arc<EngineShared>,
     backend_name: String,
+    engine_name: &'static str,
+    caps: EngineCaps,
 }
 
 impl AioEngine {
-    /// Spawns the worker pool over `backend`.
+    /// Builds the configured [`IoEngine`] backend over `backend` (see
+    /// [`AioConfig::engine`]; the default auto-selects by probing).
     pub fn new(backend: Arc<dyn Backend>, config: AioConfig) -> Self {
         assert!(config.workers > 0, "need at least one I/O worker");
         assert!(config.queue_depth > 0, "queue depth must be positive");
-        let (tx, rx) = bounded::<Op>(config.queue_depth);
-        let stats = Arc::new(Stats::default());
         let backend_name = backend.name().to_string();
-        let meters = Arc::new(TraceMeters::new(&config.trace, &backend_name));
-        let workers = (0..config.workers)
-            .map(|i| {
-                let rx = rx.clone();
-                let backend = Arc::clone(&backend);
-                let stats = Arc::clone(&stats);
-                let retry = config.retry.clone();
-                let trace = config.trace.clone();
-                let trace_tier = config.trace_tier;
-                let meters = Arc::clone(&meters);
-                thread::Builder::new()
-                    .name(format!("aio-{}-{}", backend_name, i))
-                    .spawn(move || {
-                        while let Ok(op) = rx.recv() {
-                            let t0 = Instant::now();
-                            let Op { key, kind, state } = op;
-                            let phase = kind.phase();
-                            let span_start = trace.now_ns();
-                            // Per-op retry count, folded into the shared
-                            // counter afterwards so the trace can tell
-                            // which op re-attempted.
-                            let op_retries = AtomicU64::new(0);
-                            // A panicking backend must not leave waiters
-                            // blocked on a result that never arrives:
-                            // catch the unwind (dropping any staging
-                            // buffer back to its pool on the way) and
-                            // poison the completion slot with an error.
-                            let result = catch_unwind(AssertUnwindSafe(|| {
-                                execute_op(
-                                    &*backend,
-                                    &retry,
-                                    &stats,
-                                    &op_retries,
-                                    &state,
-                                    &key,
-                                    kind,
-                                )
-                            }))
-                            .unwrap_or_else(|_| {
-                                Err(io::Error::other(format!(
-                                    "I/O worker panicked while processing {key}"
-                                )))
-                            });
-                            let retried = op_retries.load(Ordering::Acquire);
-                            if retried > 0 {
-                                // relaxed-ok: monotonic stats counter, read only for reporting
-                                stats.retries.fetch_add(retried, Ordering::Relaxed);
-                            }
-                            if result.is_err() {
-                                // relaxed-ok: monotonic stats counter, read only for reporting
-                                stats.errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                            stats
-                                .busy_nanos
-                                // relaxed-ok: monotonic stats counter, read only for reporting
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            if trace.is_enabled() {
-                                let bytes = state.bytes.load(Ordering::Acquire) as u64;
-                                let attrs = Attrs {
-                                    tier: trace_tier,
-                                    bytes,
-                                    ..Attrs::NONE
-                                };
-                                let end_ns = trace.now_ns();
-                                for _ in 0..retried {
-                                    trace.instant(Phase::AioRetry, attrs, end_ns);
-                                }
-                                trace.complete_span(phase, attrs, span_start, end_ns);
-                                meters.retries.add(retried);
-                                if result.is_ok() {
-                                    match phase {
-                                        Phase::AioRead => {
-                                            meters.reads.inc();
-                                            meters.read_bytes.add(bytes);
-                                        }
-                                        Phase::AioWrite => {
-                                            meters.writes.inc();
-                                            meters.write_bytes.add(bytes);
-                                        }
-                                        _ => {}
-                                    }
-                                } else {
-                                    meters.errors.inc();
-                                }
-                            }
-                            // Publish, *then* retire from the pending
-                            // gauge: a drainer released early would race
-                            // the waiter for this very completion.
-                            state.result.publish(result);
-                            stats.pending.dec();
-                        }
-                    })
-                    // lint:allow(hot-path-panic): worker spawn happens once
-                    // at engine construction, not on the per-op I/O path
-                    .expect("spawn aio worker")
-            })
-            .collect();
+        let shared = Arc::new(EngineShared::new(backend, &config));
+        let kind = config.engine.resolve(&*shared.backend);
+        let engine = crate::io_engine::build(kind, Arc::clone(&shared), &config);
+        let caps = engine.caps();
         AioEngine {
-            tx: Some(tx),
-            workers,
-            stats,
+            engine: Some(engine),
+            shared,
             backend_name,
+            engine_name: kind.name(),
+            caps,
         }
     }
 
     fn submit(&self, key: &str, kind: OpKind) -> OpHandle {
-        self.stats.pending.inc();
+        self.shared.stats.pending.inc();
+        if self.shared.trace.is_enabled() {
+            self.shared
+                .meters
+                .inflight
+                .set(self.shared.stats.pending.current() as u64);
+        }
         let state = Arc::new(OpState {
             result: CompletionSlot::new(),
             bytes: AtomicUsize::new(0),
@@ -568,23 +572,12 @@ impl AioEngine {
             kind,
             state: Arc::clone(&state),
         };
-        let sent = match self.tx.as_ref() {
-            Some(tx) => tx.send(op).is_ok(),
-            None => false,
-        };
-        if !sent {
-            // The queue is closed (engine mid-teardown). Unreachable
-            // through safe use — submission borrows the engine Drop is
-            // consuming — but poisoning the completion keeps even that
-            // misuse unwinding cleanly instead of wedging a waiter.
-            // The rejected op (and any pooled staging buffer in it) was
-            // dropped by the failed send, recycling the buffer.
-            // relaxed-ok: monotonic stats counter, read only for reporting
-            self.stats.errors.fetch_add(1, Ordering::Relaxed);
-            state.result.publish(Err(io::Error::other(format!(
-                "submission queue closed before {key} was enqueued"
-            ))));
-            self.stats.pending.dec();
+        match self.engine.as_ref() {
+            Some(engine) => engine.submit(op),
+            // Unreachable through safe use (`engine` is `Some` until
+            // Drop, and submission borrows the engine Drop consumes),
+            // but poison the completion rather than wedge a waiter.
+            None => self.shared.reject(op),
         }
         OpHandle { state }
     }
@@ -636,14 +629,25 @@ impl AioEngine {
         &self.backend_name
     }
 
+    /// Name of the selected [`IoEngine`] backend (after auto-selection),
+    /// e.g. `"pool"` or `"uring"`.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine_name
+    }
+
+    /// Capabilities of the selected engine backend.
+    pub fn capabilities(&self) -> EngineCaps {
+        self.caps
+    }
+
     /// (reads, writes) completed *successfully* so far; failed operations
     /// are counted by [`AioEngine::op_errors`] instead.
     pub fn ops_completed(&self) -> (u64, u64) {
         (
             // relaxed-ok: monotonic stats counter, read only for reporting
-            self.stats.reads.load(Ordering::Relaxed),
+            self.shared.stats.reads.load(Ordering::Relaxed),
             // relaxed-ok: monotonic stats counter, read only for reporting
-            self.stats.writes.load(Ordering::Relaxed),
+            self.shared.stats.writes.load(Ordering::Relaxed),
         )
     }
 
@@ -651,51 +655,49 @@ impl AioEngine {
     pub fn bytes_moved(&self) -> (u64, u64) {
         (
             // relaxed-ok: monotonic stats counter, read only for reporting
-            self.stats.read_bytes.load(Ordering::Relaxed),
+            self.shared.stats.read_bytes.load(Ordering::Relaxed),
             // relaxed-ok: monotonic stats counter, read only for reporting
-            self.stats.write_bytes.load(Ordering::Relaxed),
+            self.shared.stats.write_bytes.load(Ordering::Relaxed),
         )
     }
 
     /// Transient-error re-attempts performed by the retry layer.
     pub fn retries(&self) -> u64 {
         // relaxed-ok: monotonic stats counter, read only for reporting
-        self.stats.retries.load(Ordering::Relaxed)
+        self.shared.stats.retries.load(Ordering::Relaxed)
     }
 
     /// Operations that ultimately failed (after any retries).
     pub fn op_errors(&self) -> u64 {
         // relaxed-ok: monotonic stats counter, read only for reporting
-        self.stats.errors.load(Ordering::Relaxed)
+        self.shared.stats.errors.load(Ordering::Relaxed)
     }
 
     /// Cumulative worker busy time in seconds (sums across workers,
     /// including retry backoff).
     pub fn busy_seconds(&self) -> f64 {
         // relaxed-ok: monotonic stats counter, read only for reporting
-        self.stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        self.shared.stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Operations submitted but not yet completed.
     pub fn pending_ops(&self) -> usize {
-        self.stats.pending.current()
+        self.shared.stats.pending.current()
     }
 
     /// Blocks until every submitted operation has completed — a
     /// completion barrier like `io_getevents` draining the whole queue.
     /// Parked on a condvar, so draining a slow tier does not burn a core.
     pub fn drain(&self) {
-        self.stats.pending.drain();
+        self.shared.stats.pending.drain();
     }
 }
 
 impl Drop for AioEngine {
     fn drop(&mut self) {
-        // Close the queue; workers drain remaining ops and exit.
-        self.tx.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        // Dropping the engine backend closes its submission queue and
+        // joins its threads; already-submitted ops complete first.
+        self.engine.take();
     }
 }
 

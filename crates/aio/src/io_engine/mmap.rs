@@ -1,0 +1,170 @@
+//! The mmap engine: the pool engine's thread model with a raw
+//! mmap-and-copy fast path for *reads* of file-backed objects.
+//!
+//! Fetches dominate the steady-state offload traffic the paper's §3
+//! model cares about (every subgroup is fetched each iteration; flushes
+//! overlap the next fetch), so this engine accelerates exactly that
+//! leg: a read whose backend exposes
+//! [`raw_target`](mlp_storage::Backend::raw_target) is served by
+//! [`sys::read_via_mmap`] instead of a `read(2)` loop. Writes, deletes,
+//! decorated backends, and any raw-path obstacle degrade per-op to the
+//! shared portable path ([`EngineShared::run_op`]), preserving retry,
+//! reclaim, and decorator semantics exactly.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use mlp_sync::{thread, Arc};
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::engine::{Op, OpKind, OpOutput};
+
+use super::{sys, EngineCaps, EngineKind, EngineShared, IoEngine};
+
+pub(crate) struct MmapEngine {
+    tx: Option<Sender<Op>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    shared: Arc<EngineShared>,
+}
+
+impl MmapEngine {
+    pub(crate) fn new(shared: Arc<EngineShared>, workers: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = bounded::<Op>(queue_depth);
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("aio-mmap-{}-{}", shared.backend.name(), i))
+                    .spawn(move || {
+                        while let Ok(op) = rx.recv() {
+                            serve(&shared, op);
+                        }
+                    })
+                    // lint:allow(hot-path-panic): worker spawn happens once
+                    // at engine construction, not on the per-op I/O path
+                    .expect("spawn aio mmap worker")
+            })
+            .collect();
+        MmapEngine {
+            tx: Some(tx),
+            workers: handles,
+            shared,
+        }
+    }
+}
+
+/// One op: mmap fast path for eligible reads, portable path otherwise.
+fn serve(shared: &EngineShared, op: Op) {
+    let raw = matches!(op.kind, OpKind::Read | OpKind::ReadPooled(..))
+        .then(|| shared.backend.raw_target(&op.key))
+        .flatten();
+    let Some(target) = raw else {
+        return shared.run_op(op);
+    };
+    let t0 = Instant::now();
+    let span_start = shared.trace.now_ns();
+    let Op { key, kind, state } = op;
+    match kind {
+        OpKind::Read => {
+            // The unwind guard mirrors run_op's: a panicking raw path
+            // must not wedge the waiter — here it simply degrades.
+            let outcome = catch_unwind(AssertUnwindSafe(|| sys::read_via_mmap(&target.path)));
+            match outcome {
+                Ok(Ok(data)) => {
+                    shared.record_read(&state, data.len());
+                    finish_raw(shared, t0, span_start, &state, OpOutput::Bytes(data));
+                }
+                Ok(Err(_)) | Err(_) => {
+                    // Any obstacle — vanished file, mmap refusal, panic —
+                    // re-drives the op through the backend path, which
+                    // owns retry and error classification.
+                    shared.note_fallback();
+                    shared.run_op(Op {
+                        key,
+                        kind: OpKind::Read,
+                        state,
+                    });
+                }
+            }
+        }
+        OpKind::ReadPooled(mut buf, len) => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                sys::read_via_mmap_into(&target.path, &mut buf.buffer_mut().as_bytes_mut()[..len])
+            }));
+            match outcome {
+                Ok(Ok(n)) => {
+                    shared.record_read(&state, n);
+                    finish_raw(shared, t0, span_start, &state, OpOutput::Pooled(buf, n));
+                }
+                // An oversized object would fail identically on the
+                // portable path — the re-drive surfaces the backend's
+                // canonical InvalidInput instead of ours. A failed
+                // partial fill is fine: the re-drive overwrites it.
+                Ok(Err(_)) | Err(_) => {
+                    shared.note_fallback();
+                    shared.run_op(Op {
+                        key,
+                        kind: OpKind::ReadPooled(buf, len),
+                        state,
+                    });
+                }
+            }
+        }
+        other => shared.run_op(Op {
+            key,
+            kind: other,
+            state,
+        }),
+    }
+}
+
+/// Completes a successful raw read through the shared protocol
+/// (`retried` is always 0: the raw path does not retry, it degrades).
+fn finish_raw(
+    shared: &EngineShared,
+    t0: Instant,
+    span_start: u64,
+    state: &crate::engine::OpState,
+    output: OpOutput,
+) {
+    shared.finish_op(
+        mlp_trace::Phase::AioRead,
+        t0,
+        span_start,
+        0,
+        state,
+        io::Result::Ok(output),
+        true,
+    );
+}
+
+impl IoEngine for MmapEngine {
+    fn caps(&self) -> EngineCaps {
+        EngineKind::Mmap.static_caps()
+    }
+
+    fn submit(&self, op: Op) {
+        match self.tx.as_ref() {
+            Some(tx) => {
+                if let Err(err) = tx.send(op) {
+                    self.shared.reject(err.into_inner());
+                }
+            }
+            None => self.shared.reject(op),
+        }
+    }
+}
+
+impl Drop for MmapEngine {
+    /// Closes the submission queue and joins the workers; queued ops
+    /// complete (and publish) first.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The pluggable I/O engine subsystem: one completion protocol, four ways
+//! to move the bytes.
+//!
+//! [`AioEngine`](crate::AioEngine) is a façade; the actual byte movement
+//! is delegated to an engine backend selected by
+//! [`AioConfig::engine`](crate::AioConfig::engine):
+//!
+//! * **`pool`** — the original bounded-queue worker pool of blocking
+//!   backend calls. Portable, concurrent, the auto-selection default for
+//!   non-file backends.
+//! * **`sync`** — inline execution on the submitting thread. Zero
+//!   threads, zero queues; the portable fallback and the baseline other
+//!   engines are measured against.
+//! * **`mmap`** — a worker pool whose *reads* of file-backed objects go
+//!   through `mmap`+copy instead of `read(2)`, the read-mostly fetch
+//!   path. Writes and non-file backends use the portable path.
+//! * **`uring`** — a single driver thread batching operations into a
+//!   Linux io_uring submission queue at configurable depth, with
+//!   registered 4096-aligned bounce buffers and opportunistic `O_DIRECT`.
+//!   Feature-gated (`mlp-aio/uring`) and runtime-probed.
+//!
+//! # The capability-dispatch rule
+//!
+//! Raw kernel paths (io_uring, mmap) need a *file*, but the [`Backend`]
+//! contract is key/value. The bridge is
+//! [`Backend::raw_target`](mlp_storage::Backend::raw_target): plainly
+//! file-backed backends (`DirBackend`) expose per-key filesystem
+//! coordinates, while in-memory backends and **every decorator** (fault
+//! injection, checksumming, tracing) decline. Engines treat the raw path
+//! as pure opportunism — any obstacle (decorated backend, oversized
+//! object, filesystem refusing `O_DIRECT`, raw I/O error) degrades that
+//! single operation to the same portable backend call the pool engine
+//! makes, preserving retry, classification, and decorator semantics.
+//! This is why the fault-injection suite passes unchanged against every
+//! engine: a fault-injecting backend declines `raw_target`, so injected
+//! faults always stay on the data path.
+//!
+//! # Shared protocol
+//!
+//! Completion hand-off ([`CompletionSlot`](crate::CompletionSlot)),
+//! drain ([`PendingGauge`](crate::PendingGauge)), retry/backoff, stats,
+//! and trace instrumentation live in [`EngineShared`], *outside* the
+//! engine backends. Every engine funnels through
+//! [`EngineShared::run_op`]/[`EngineShared::finish_op`], so the
+//! model-checked publish-then-retire invariants hold for all of them by
+//! construction.
+//!
+//! # Capability matrix
+//!
+//! ```
+//! let m = mlp_aio::io_engine::capability_matrix();
+//! for name in ["pool", "sync", "mmap", "uring"] {
+//!     assert!(m.contains(name), "missing {name} in:\n{m}");
+//! }
+//! ```
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use mlp_sync::atomic::{AtomicU64, Ordering};
+use mlp_sync::Arc;
+
+use mlp_storage::Backend;
+use mlp_trace::{Attrs, Phase, TraceSink};
+
+use crate::engine::{
+    execute_op, AioConfig, Op, OpOutput, OpState, RetryPolicy, Stats, TraceMeters,
+};
+
+pub(crate) mod pool;
+pub(crate) mod sync_engine;
+
+#[cfg(all(unix, not(loom)))]
+pub(crate) mod mmap;
+
+#[cfg(all(unix, not(loom)))]
+pub(crate) mod sys;
+
+#[cfg(all(
+    target_os = "linux",
+    feature = "uring",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(loom)
+))]
+pub(crate) mod uring;
+
+/// Which engine backend moves the bytes; see the [module docs](self) for
+/// what each one does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Probe the host and backend, pick the fastest engine that fits:
+    /// `uring` when the `uring` feature is compiled in, the kernel
+    /// accepts `io_uring_setup`, and the backend is file-backed;
+    /// otherwise `pool`.
+    #[default]
+    Auto,
+    /// Bounded-queue worker pool of blocking backend calls.
+    Pool,
+    /// Inline execution on the submitting thread.
+    Sync,
+    /// Worker pool with an mmap fast path for file-backed reads.
+    Mmap,
+    /// Batched io_uring submission on a single driver thread.
+    Uring,
+}
+
+impl EngineKind {
+    /// The concrete (non-`Auto`) kinds, in capability-matrix order.
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::Pool,
+            EngineKind::Sync,
+            EngineKind::Mmap,
+            EngineKind::Uring,
+        ]
+    }
+
+    /// Stable lowercase name (matches [`AioEngine::engine_name`]
+    /// (crate::AioEngine::engine_name) and bench/CI labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Pool => "pool",
+            EngineKind::Sync => "sync",
+            EngineKind::Mmap => "mmap",
+            EngineKind::Uring => "uring",
+        }
+    }
+
+    /// Whether this kind can actually run on this host (compile-time
+    /// support *and* runtime probe). `Auto` is always available — it
+    /// resolves to something that is. Engine-matrix tests use this for
+    /// graceful skip-and-report on hosts without io_uring.
+    pub fn is_available(self) -> bool {
+        match self {
+            EngineKind::Auto | EngineKind::Pool | EngineKind::Sync => true,
+            EngineKind::Mmap => cfg!(all(unix, not(loom))),
+            EngineKind::Uring => uring_runtime_available(),
+        }
+    }
+
+    /// What the engine offers *when it is available* (the static column
+    /// of the capability matrix; availability on this host is
+    /// [`EngineKind::is_available`]).
+    pub fn static_caps(self) -> EngineCaps {
+        match self {
+            EngineKind::Auto => EngineKind::Pool.static_caps(),
+            EngineKind::Pool => EngineCaps {
+                engine: "pool",
+                async_submission: true,
+                batched_submission: false,
+                raw_file_io: false,
+                o_direct: false,
+                registered_buffers: false,
+            },
+            EngineKind::Sync => EngineCaps {
+                engine: "sync",
+                async_submission: false,
+                batched_submission: false,
+                raw_file_io: false,
+                o_direct: false,
+                registered_buffers: false,
+            },
+            EngineKind::Mmap => EngineCaps {
+                engine: "mmap",
+                async_submission: true,
+                batched_submission: false,
+                raw_file_io: true,
+                o_direct: false,
+                registered_buffers: false,
+            },
+            EngineKind::Uring => EngineCaps {
+                engine: "uring",
+                async_submission: true,
+                batched_submission: true,
+                raw_file_io: true,
+                o_direct: true,
+                registered_buffers: true,
+            },
+        }
+    }
+
+    /// Resolves `Auto` against this host and backend; concrete kinds
+    /// return themselves. io_uring wins only when it is compiled in, the
+    /// kernel accepts it, *and* the backend is plainly file-backed (a
+    /// decorated or in-memory backend would force every op onto the
+    /// fallback path anyway, where the pool's parallelism is strictly
+    /// better than a single driver thread).
+    pub fn resolve(self, backend: &dyn Backend) -> EngineKind {
+        match self {
+            EngineKind::Auto => {
+                if EngineKind::Uring.is_available()
+                    && backend.raw_target("__engine_probe/0").is_some()
+                {
+                    EngineKind::Uring
+                } else {
+                    EngineKind::Pool
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an engine backend can do, reported by
+/// [`AioEngine::capabilities`](crate::AioEngine::capabilities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Engine name (same as [`EngineKind::name`]).
+    pub engine: &'static str,
+    /// Submission returns before the operation executes (false only for
+    /// the inline `sync` engine).
+    pub async_submission: bool,
+    /// Multiple operations enter the kernel in one syscall.
+    pub batched_submission: bool,
+    /// File-backed objects can bypass the portable backend calls.
+    pub raw_file_io: bool,
+    /// The raw path can open files with `O_DIRECT` (page-cache bypass).
+    pub o_direct: bool,
+    /// Buffers are pre-registered with the kernel
+    /// (`IORING_REGISTER_BUFFERS`), skipping per-op pinning.
+    pub registered_buffers: bool,
+}
+
+/// The engine capability matrix for this host, one row per engine:
+/// static capabilities plus whether the engine can run here (compile-time
+/// features and the io_uring runtime probe).
+pub fn capability_matrix() -> String {
+    let mut out = String::from(
+        "engine | available | async | batched | raw-file | O_DIRECT | reg-buffers\n\
+         -------|-----------|-------|---------|----------|----------|------------\n",
+    );
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    for kind in EngineKind::all() {
+        let c = kind.static_caps();
+        out.push_str(&format!(
+            "{:<6} | {:<9} | {:<5} | {:<7} | {:<8} | {:<8} | {}\n",
+            c.engine,
+            yn(kind.is_available()),
+            yn(c.async_submission),
+            yn(c.batched_submission),
+            yn(c.raw_file_io),
+            yn(c.o_direct),
+            yn(c.registered_buffers),
+        ));
+    }
+    out
+}
+
+/// Whether io_uring actually works here: feature compiled in, supported
+/// target, and the kernel accepting a probe `io_uring_setup` (cached
+/// process-wide; containers and seccomp policies commonly deny the
+/// syscall even on new kernels, so compile-time checks are not enough).
+#[cfg(all(
+    target_os = "linux",
+    feature = "uring",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(loom)
+))]
+fn uring_runtime_available() -> bool {
+    static PROBE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PROBE.get_or_init(sys::uring_probe)
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    feature = "uring",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(loom)
+)))]
+fn uring_runtime_available() -> bool {
+    false
+}
+
+/// An engine backend: executes [`Op`]s and completes them through
+/// [`EngineShared`]. Teardown is Drop: close the submission path, finish
+/// already-accepted ops, join threads.
+pub(crate) trait IoEngine: Send + Sync {
+    /// What this engine can do.
+    fn caps(&self) -> EngineCaps;
+    /// Accepts an operation. May block for backpressure (bounded
+    /// queues); must eventually publish exactly one completion for the
+    /// op through [`EngineShared::finish_op`] / [`EngineShared::run_op`]
+    /// / [`EngineShared::reject`] on every path, including errors and
+    /// panics.
+    fn submit(&self, op: Op);
+}
+
+/// Everything the engine backends share: the storage backend, retry
+/// policy, statistics, and the trace/completion protocol. One instance
+/// per [`AioEngine`](crate::AioEngine), behind an `Arc` so engine
+/// threads outliving a submit call keep it alive.
+pub(crate) struct EngineShared {
+    pub(crate) backend: Arc<dyn Backend>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) stats: Stats,
+    pub(crate) meters: TraceMeters,
+    pub(crate) trace: TraceSink,
+    pub(crate) trace_tier: i32,
+}
+
+impl EngineShared {
+    pub(crate) fn new(backend: Arc<dyn Backend>, config: &AioConfig) -> Self {
+        let meters = TraceMeters::new(&config.trace, backend.name());
+        EngineShared {
+            backend,
+            retry: config.retry.clone(),
+            stats: Stats::default(),
+            meters,
+            trace: config.trace.clone(),
+            trace_tier: config.trace_tier,
+        }
+    }
+
+    /// Executes one op through the portable backend path — retry,
+    /// catch-unwind poisoning, stats, trace, publish-then-retire. This
+    /// is the body every engine shares; the original worker-pool loop
+    /// was exactly `while let Ok(op) = rx.recv() { shared.run_op(op) }`.
+    pub(crate) fn run_op(&self, op: Op) {
+        let t0 = Instant::now();
+        let Op { key, kind, state } = op;
+        let phase = kind.phase();
+        let span_start = self.trace.now_ns();
+        // Per-op retry count, folded into the shared counter afterwards
+        // so the trace can tell which op re-attempted.
+        let op_retries = AtomicU64::new(0);
+        // A panicking backend must not leave waiters blocked on a result
+        // that never arrives: catch the unwind (dropping any staging
+        // buffer back to its pool on the way) and poison the completion
+        // slot with an error.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute_op(
+                &*self.backend,
+                &self.retry,
+                &self.stats,
+                &op_retries,
+                &state,
+                &key,
+                kind,
+            )
+        }))
+        .unwrap_or_else(|_| {
+            Err(io::Error::other(format!(
+                "I/O worker panicked while processing {key}"
+            )))
+        });
+        let retried = op_retries.load(Ordering::Acquire);
+        self.finish_op(phase, t0, span_start, retried, &state, result, false);
+    }
+
+    /// Completes one op: folds per-op retries and errors into the stats,
+    /// records the trace span and meter mirrors, then publishes the
+    /// result and retires the op from the pending gauge — in that order
+    /// (a drainer released early would race the waiter for this very
+    /// completion). `raw` marks ops served by an engine's raw kernel
+    /// path (counted separately in the meters).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_op(
+        &self,
+        phase: Phase,
+        t0: Instant,
+        span_start: u64,
+        retried: u64,
+        state: &OpState,
+        result: io::Result<OpOutput>,
+        raw: bool,
+    ) {
+        if retried > 0 {
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.retries.fetch_add(retried, Ordering::Relaxed);
+        }
+        if result.is_err() {
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .busy_nanos
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if self.trace.is_enabled() {
+            let bytes = state.bytes.load(Ordering::Acquire) as u64;
+            let attrs = Attrs {
+                tier: self.trace_tier,
+                bytes,
+                ..Attrs::NONE
+            };
+            let end_ns = self.trace.now_ns();
+            for _ in 0..retried {
+                self.trace.instant(Phase::AioRetry, attrs, end_ns);
+            }
+            self.trace.complete_span(phase, attrs, span_start, end_ns);
+            self.meters.retries.add(retried);
+            if raw {
+                self.meters.raw_ops.inc();
+            }
+            if result.is_ok() {
+                match phase {
+                    Phase::AioRead => {
+                        self.meters.reads.inc();
+                        self.meters.read_bytes.add(bytes);
+                    }
+                    Phase::AioWrite => {
+                        self.meters.writes.inc();
+                        self.meters.write_bytes.add(bytes);
+                    }
+                    _ => {}
+                }
+            } else {
+                self.meters.errors.inc();
+            }
+        }
+        // Publish, *then* retire from the pending gauge.
+        state.result.publish(result);
+        self.stats.pending.dec();
+        if self.trace.is_enabled() {
+            self.meters.inflight.set(self.stats.pending.current() as u64);
+        }
+    }
+
+    /// Success bookkeeping for a raw-path read of `n` bytes (the raw
+    /// paths bypass [`execute_op`], which does this for the portable
+    /// path).
+    #[cfg(all(unix, not(loom)))]
+    pub(crate) fn record_read(&self, state: &OpState, n: usize) {
+        // Release: paired with the Acquire in OpHandle::bytes.
+        state.bytes.store(n, Ordering::Release);
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.stats.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Success bookkeeping for a raw-path write of `n` bytes.
+    #[cfg(all(
+        target_os = "linux",
+        feature = "uring",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(loom)
+    ))]
+    pub(crate) fn record_write(&self, state: &OpState, n: usize) {
+        // Release: paired with the Acquire in OpHandle::bytes.
+        state.bytes.store(n, Ordering::Release);
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.stats.write_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Poisons an op that could not even be accepted (submission queue
+    /// closed mid-teardown). The op's payload (and any pooled staging
+    /// buffer) drops here, recycling the buffer.
+    pub(crate) fn reject(&self, op: Op) {
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        op.state.result.publish(Err(io::Error::other(format!(
+            "submission queue closed before {} was enqueued",
+            op.key
+        ))));
+        self.stats.pending.dec();
+    }
+
+    /// Counts one raw-path op degraded to the portable backend call.
+    #[cfg(all(unix, not(loom)))]
+    pub(crate) fn note_fallback(&self) {
+        if self.trace.is_enabled() {
+            self.meters.fallback_ops.inc();
+        }
+    }
+}
+
+/// Builds the engine backend for a resolved (non-`Auto`) kind. Kinds the
+/// build cannot honour on this target degrade to `pool` — the portable
+/// superset — so a config requesting `uring` on macOS still works (the
+/// engine-matrix tests use [`EngineKind::is_available`] to skip instead).
+pub(crate) fn build(
+    kind: EngineKind,
+    shared: Arc<EngineShared>,
+    config: &AioConfig,
+) -> Box<dyn IoEngine> {
+    match kind {
+        EngineKind::Auto | EngineKind::Pool => Box::new(pool::PoolEngine::new(
+            shared,
+            config.workers,
+            config.queue_depth,
+        )),
+        EngineKind::Sync => Box::new(sync_engine::SyncEngine::new(shared)),
+        EngineKind::Mmap => {
+            #[cfg(all(unix, not(loom)))]
+            {
+                Box::new(mmap::MmapEngine::new(
+                    shared,
+                    config.workers,
+                    config.queue_depth,
+                ))
+            }
+            #[cfg(not(all(unix, not(loom))))]
+            {
+                Box::new(pool::PoolEngine::new(
+                    shared,
+                    config.workers,
+                    config.queue_depth,
+                ))
+            }
+        }
+        EngineKind::Uring => {
+            #[cfg(all(
+                target_os = "linux",
+                feature = "uring",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(loom)
+            ))]
+            {
+                Box::new(uring::UringEngine::new(shared, config.queue_depth))
+            }
+            #[cfg(not(all(
+                target_os = "linux",
+                feature = "uring",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(loom)
+            )))]
+            {
+                Box::new(pool::PoolEngine::new(
+                    shared,
+                    config.workers,
+                    config.queue_depth,
+                ))
+            }
+        }
+    }
+}
+
+/// Runs a block once per *available* engine kind, reporting (not
+/// failing) the kinds this host cannot run — the engine-matrix pattern
+/// the fault/round-trip suites use so one test body covers `pool`,
+/// `sync`, `mmap`, and `uring`, and CI on kernels without io_uring
+/// skips it loudly instead of going red.
+///
+/// ```
+/// use mlp_aio::{for_each_engine, AioConfig};
+/// let mut ran = Vec::new();
+/// for_each_engine!(|kind| {
+///     let config = AioConfig { engine: kind, ..AioConfig::deterministic() };
+///     ran.push(config.engine.name());
+/// });
+/// assert!(ran.contains(&"pool") && ran.contains(&"sync"));
+/// ```
+#[macro_export]
+macro_rules! for_each_engine {
+    (|$kind:ident| $body:block) => {
+        for $kind in $crate::io_engine::EngineKind::all() {
+            if !$kind.is_available() {
+                // lint:allow(trace-sink): test-harness skip report, expands
+                // only inside test bodies, never on the I/O path
+                eprintln!(
+                    "engine-matrix: SKIP {} (unavailable on this host)",
+                    $kind.name()
+                );
+                continue;
+            }
+            $body
+        }
+    };
+}
+
+// The microbench OpDriver impl lives here (not in mlp-storage, which
+// cannot depend on mlp-aio): it lets the same harness sweep engines and
+// queue depths for `BENCH_io_engines.json`.
+use mlp_storage::microbench::{DriveOp, OpDriver};
+
+impl OpDriver for crate::AioEngine {
+    fn driver_name(&self) -> String {
+        format!("{}[{}]", self.engine_name(), self.backend_name())
+    }
+
+    fn drive(&self, ops: &[(String, DriveOp)], queue_depth: usize) -> io::Result<()> {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        let mut pending: std::collections::VecDeque<crate::OpHandle> =
+            std::collections::VecDeque::new();
+        let harvest = |pending: &mut std::collections::VecDeque<crate::OpHandle>| {
+            match pending.pop_front() {
+                Some(h) => h.wait().map(|_| ()),
+                None => Ok(()),
+            }
+        };
+        for (key, op) in ops {
+            if pending.len() >= queue_depth {
+                harvest(&mut pending)?;
+            }
+            let handle = match op {
+                DriveOp::Write(bytes) => self.submit_write(key, vec![0xA5u8; *bytes]),
+                DriveOp::Read => self.submit_read(key),
+                DriveOp::Delete => self.submit_delete(key),
+            };
+            pending.push_back(handle);
+        }
+        while !pending.is_empty() {
+            harvest(&mut pending)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use mlp_storage::{DirBackend, MemBackend};
+
+    #[test]
+    fn kind_names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(EngineKind::Auto.name(), "auto");
+        assert_eq!(EngineKind::default(), EngineKind::Auto);
+    }
+
+    #[test]
+    fn pool_and_sync_are_always_available() {
+        assert!(EngineKind::Pool.is_available());
+        assert!(EngineKind::Sync.is_available());
+        assert!(EngineKind::Auto.is_available());
+    }
+
+    #[test]
+    fn auto_resolves_to_pool_for_memory_backends() {
+        let mem = MemBackend::new("mem");
+        assert_eq!(EngineKind::Auto.resolve(&mem), EngineKind::Pool);
+        // Concrete kinds pass through untouched.
+        assert_eq!(EngineKind::Sync.resolve(&mem), EngineKind::Sync);
+    }
+
+    #[test]
+    fn auto_resolution_on_files_depends_only_on_uring_availability() {
+        let root = std::env::temp_dir().join(format!(
+            "mlp-aio-resolve-{}",
+            std::process::id()
+        ));
+        let dir = DirBackend::new("dir", &root).unwrap();
+        let resolved = EngineKind::Auto.resolve(&dir);
+        if EngineKind::Uring.is_available() {
+            assert_eq!(resolved, EngineKind::Uring);
+        } else {
+            assert_eq!(resolved, EngineKind::Pool);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn capability_matrix_has_one_row_per_engine() {
+        let m = capability_matrix();
+        // Header + separator + four engine rows.
+        assert_eq!(m.trim_end().lines().count(), 6, "{m}");
+        assert!(m.contains("O_DIRECT"));
+    }
+
+    #[test]
+    fn uring_caps_dominate_pool_caps() {
+        let uring = EngineKind::Uring.static_caps();
+        assert!(uring.batched_submission && uring.o_direct && uring.registered_buffers);
+        let pool = EngineKind::Pool.static_caps();
+        assert!(pool.async_submission && !pool.raw_file_io);
+    }
+}

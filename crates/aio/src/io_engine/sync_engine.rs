@@ -1,0 +1,35 @@
+//! The inline (plain-sync) engine: zero threads, zero queues.
+//!
+//! `submit` executes the operation on the calling thread through the
+//! shared portable path and returns with the completion already
+//! published, so `wait` never blocks. Submission-side asynchrony is
+//! gone — this is the portable fallback and the baseline the
+//! engine-sweep benchmark measures the others against — but every other
+//! contract (retry, panic poisoning, stats, trace spans, pooled-buffer
+//! recycling, drain) holds unchanged because the execution body is the
+//! same [`EngineShared::run_op`].
+
+use mlp_sync::Arc;
+
+use super::{EngineCaps, EngineKind, EngineShared, IoEngine};
+use crate::engine::Op;
+
+pub(crate) struct SyncEngine {
+    shared: Arc<EngineShared>,
+}
+
+impl SyncEngine {
+    pub(crate) fn new(shared: Arc<EngineShared>) -> Self {
+        SyncEngine { shared }
+    }
+}
+
+impl IoEngine for SyncEngine {
+    fn caps(&self) -> EngineCaps {
+        EngineKind::Sync.static_caps()
+    }
+
+    fn submit(&self, op: Op) {
+        self.shared.run_op(op);
+    }
+}

@@ -7,9 +7,16 @@
 //! asynchronous-I/O queue and polls completions while the CPU computes
 //! (§3.5). This crate reproduces that architecture in portable Rust:
 //!
-//! * [`engine::AioEngine`] — a per-tier engine with a submission queue, a
-//!   configurable worker pool, bounded in-flight operations, and
-//!   completion handles ([`engine::OpHandle`]).
+//! * [`engine::AioEngine`] — a per-tier engine with a submission queue,
+//!   bounded in-flight operations, and completion handles
+//!   ([`engine::OpHandle`]), delegating byte movement to a pluggable
+//!   [`io_engine::EngineKind`] backend.
+//! * [`io_engine`] — the engine backends behind the façade: the original
+//!   bounded worker **pool**, an inline **sync** fallback, an **mmap**
+//!   read path, and a batched **io_uring** driver (feature `uring`,
+//!   runtime-probed) with `O_DIRECT` and registered 4096-aligned bounce
+//!   buffers. `EngineKind::Auto` picks per host and backend; see
+//!   [`io_engine::capability_matrix`].
 //! * [`engine::RetryPolicy`] — bounded exponential-backoff retry of
 //!   transient backend errors, executed inside the I/O workers; panicking
 //!   backends poison the op's completion handle instead of hanging
@@ -18,11 +25,18 @@
 //!   multi-thread-shared locking mechanism": all I/O threads of one worker
 //!   process share the tier while other worker processes are excluded
 //!   (§3.2, §3.5).
+//!
+//! The crate root denies `unsafe`; the single sanctioned exception is
+//! the syscall shim `io_engine/sys.rs` (module-scoped allow, pinned by
+//! the workspace `unsafe-confinement` lint), which keeps raw kernel
+//! interfaces out of every engine driver.
 
 pub mod completion;
 pub mod engine;
+pub mod io_engine;
 pub mod lock;
 
 pub use completion::{CompletionSlot, PendingGauge};
 pub use engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite, RetryPolicy};
+pub use io_engine::{capability_matrix, EngineCaps, EngineKind};
 pub use lock::ProcessExclusiveLock;

@@ -1,0 +1,170 @@
+//! `io_engines_baseline` — sweeps every available `IoEngine` backend
+//! (pool / sync / mmap / uring) across queue depths over real files and
+//! writes the machine-readable baseline tracked in
+//! `BENCH_io_engines.json`.
+//!
+//! ```text
+//! io_engines_baseline [OUTPUT_PATH]   (default: BENCH_io_engines.json)
+//! ```
+//!
+//! Three workloads per (engine, depth), all through the shared
+//! [`OpDriver`] harness so the numbers are directly comparable:
+//!
+//! * `flush` — all-writes phase (checkpoint/offload flush pattern),
+//! * `fetch` — all-reads phase over the same objects (prefetch pattern),
+//! * `mixed` — alternating read/write over the key set, the steady-state
+//!   pattern of the offload pipeline (fetch subgroup *i+1* while
+//!   flushing subgroup *i*). This is the headline: batched io_uring
+//!   submission should beat the worker pool here once the queue depth
+//!   gives it a batch worth submitting (depth ≥ 32).
+//!
+//! Engines that are not available on the host (e.g. `uring` without the
+//! feature or kernel support) are reported as skipped rather than
+//! silently dropped, so a baseline regenerated on a weaker host is
+//! visibly partial instead of quietly different.
+
+use std::sync::Arc;
+
+use mlp_aio::{AioConfig, AioEngine, EngineKind};
+use mlp_storage::microbench::{measure_driver, measure_driver_mixed, DrivePlan, OpDriver};
+use mlp_storage::{Backend, DirBackend};
+
+/// Payload bytes per object: one bounce-buffer-sized block (256 KiB),
+/// large enough that per-op throughput is I/O-bound, small enough that
+/// a phase holds plenty of ops to window.
+const BLOCK_BYTES: usize = 256 * 1024;
+/// Objects per phase (256 × 256 KiB = 64 MiB moved per timed phase —
+/// enough ops that submission batching has something to amortize and a
+/// single scheduler hiccup does not move the number).
+const BLOCKS: usize = 256;
+/// In-flight windows to sweep; must include a depth ≥ 32 so the batched
+/// engines get to amortize submission.
+const DEPTHS: [usize; 4] = [1, 8, 32, 64];
+/// Timed repetitions per configuration; the baseline records the peak
+/// (bandwidth microbenches report peak: the minimum-interference run,
+/// which is also the most repeatable statistic on shared machines).
+const RUNS: usize = 3;
+
+struct Row {
+    engine: &'static str,
+    queue_depth: usize,
+    workload: &'static str,
+    mb_per_s: f64,
+}
+
+fn measure_engine(kind: EngineKind, root: &std::path::Path, rows: &mut Vec<Row>) {
+    for depth in DEPTHS {
+        let dir = root.join(format!("{}-d{}", kind.name(), depth));
+        std::fs::create_dir_all(&dir).expect("bench dir");
+        // Buffered I/O for every engine: with `O_DIRECT` the raw engines
+        // pay real device latency while the thread engines ride the page
+        // cache — a medium comparison, not an engine comparison. Forcing
+        // the page cache for all of them isolates the thing this
+        // baseline tracks: submission/completion overhead per engine.
+        let backend = Arc::new(
+            DirBackend::new("dir", &dir)
+                .expect("backend")
+                .with_direct_io(false),
+        ) as Arc<dyn Backend>;
+        let base = AioConfig::default();
+        let cfg = AioConfig {
+            engine: kind,
+            queue_depth: base.queue_depth.max(depth),
+            ..base
+        };
+        let engine = AioEngine::new(backend, cfg);
+        assert_eq!(
+            engine.engine_name(),
+            kind.name(),
+            "probed-available engine fell back at construction"
+        );
+        let plan = DrivePlan { block_bytes: BLOCK_BYTES, blocks: BLOCKS, queue_depth: depth };
+
+        // Warm-up pass (page cache, worker spin-up), then timed phases;
+        // keep the peak of `RUNS` repetitions per workload.
+        let _ = measure_driver(&engine, plan);
+        let mut flush_bps = 0.0f64;
+        let mut fetch_bps = 0.0f64;
+        let mut mixed_bps = 0.0f64;
+        for _ in 0..RUNS {
+            let sample = measure_driver(&engine, plan).expect("separate-phase run");
+            flush_bps = flush_bps.max(sample.write_bps);
+            fetch_bps = fetch_bps.max(sample.read_bps);
+            mixed_bps = mixed_bps.max(measure_driver_mixed(&engine, plan).expect("mixed run"));
+        }
+        engine.drain();
+
+        for (workload, bps) in [
+            ("flush", flush_bps),
+            ("fetch", fetch_bps),
+            ("mixed", mixed_bps),
+        ] {
+            let mb_per_s = bps / 1e6;
+            eprintln!(
+                "{:>14} depth {:>2} {:>5}: {:9.1} MB/s",
+                engine.driver_name(),
+                depth,
+                workload,
+                mb_per_s
+            );
+            rows.push(Row { engine: kind.name(), queue_depth: depth, workload, mb_per_s });
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_io_engines.json".to_string());
+    let root = std::env::temp_dir().join(format!("io_engines_baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("bench root");
+
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for kind in EngineKind::all() {
+        if kind.is_available() {
+            measure_engine(kind, &root, &mut rows);
+        } else {
+            eprintln!("{:>14}: not available on this host, skipped", kind.name());
+            skipped.push(kind.name());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Headline ratio the baseline tracks: batched submission vs the
+    // worker pool on the steady-state mixed workload at depth ≥ 32.
+    let at = |engine: &str, depth: usize, workload: &str| {
+        rows.iter()
+            .find(|r| r.engine == engine && r.queue_depth == depth && r.workload == workload)
+            .map(|r| r.mb_per_s)
+    };
+    let mut speedups = serde_json::Map::new();
+    for depth in DEPTHS.iter().filter(|&&d| d >= 32) {
+        if let (Some(u), Some(p)) = (at("uring", *depth, "mixed"), at("pool", *depth, "mixed")) {
+            let ratio = u / p;
+            eprintln!("uring/pool mixed speedup @depth {depth} = {ratio:.2}x");
+            speedups.insert(
+                format!("depth_{depth}"),
+                serde_json::json!((ratio * 100.0).round() / 100.0),
+            );
+        }
+    }
+
+    let doc = serde_json::json!({
+        "benchmark": "io_engines",
+        "description": "IoEngine backend comparison over real files — flush (all-writes), fetch (all-reads), and mixed steady-state MB/s per engine and queue depth",
+        "block_bytes": BLOCK_BYTES,
+        "blocks": BLOCKS,
+        "skipped_engines": skipped,
+        "uring_over_pool_mixed": speedups,
+        "results": rows.iter().map(|r| serde_json::json!({
+            "engine": r.engine,
+            "queue_depth": r.queue_depth,
+            "workload": r.workload,
+            "mb_per_s": (r.mb_per_s * 10.0).round() / 10.0,
+        })).collect::<Vec<_>>(),
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("serializable") + "\n")
+        .expect("write baseline");
+    println!("wrote {out_path}");
+}

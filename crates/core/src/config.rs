@@ -14,6 +14,7 @@
 //! { "mlp_offload": { "tiers": ["/local/nvme", "/lustre/run"], "ratio": "2:1" } }
 //! ```
 
+use mlp_aio::EngineKind;
 use mlp_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,15 @@ pub struct EngineConfig {
     /// presets still holds.
     #[serde(skip)]
     pub trace: TraceSink,
+    /// I/O engine backend for every tier whose [`AioConfig`] leaves the
+    /// choice at `Auto` (see [`EngineKind`] and the capability matrix in
+    /// `mlp-aio`). Not serialized: like the trace sink, the engine is a
+    /// property of the host the run lands on, not of the preset — `Auto`
+    /// probes the kernel and filesystem at engine construction.
+    ///
+    /// [`AioConfig`]: mlp_aio::AioConfig
+    #[serde(skip)]
+    pub io_engine: EngineKind,
 }
 
 fn default_fused_update() -> bool {
@@ -93,6 +103,7 @@ impl EngineConfig {
             fused_update: true,
             deferred_flush_drain: false,
             trace: TraceSink::disabled(),
+            io_engine: EngineKind::Auto,
         }
     }
 
@@ -110,6 +121,7 @@ impl EngineConfig {
             fused_update: true,
             deferred_flush_drain: false,
             trace: TraceSink::disabled(),
+            io_engine: EngineKind::Auto,
         }
     }
 
@@ -129,6 +141,15 @@ impl EngineConfig {
     /// Sets an explicit tier ratio (e.g. from `"2:1"`).
     pub fn with_tier_ratio(mut self, ratio: Vec<f64>) -> Self {
         self.tier_ratio = Some(ratio);
+        self
+    }
+
+    /// Pins the I/O engine backend for every tier that does not pin its
+    /// own (tiers whose `AioConfig.engine` is already non-`Auto` keep
+    /// their choice). The default, [`EngineKind::Auto`], probes the host
+    /// at construction and is the right answer outside A/B comparisons.
+    pub fn with_io_engine(mut self, kind: EngineKind) -> Self {
+        self.io_engine = kind;
         self
     }
 

@@ -5,6 +5,7 @@ use std::io;
 use std::sync::Arc;
 
 use mlp_aio::engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite};
+use mlp_aio::EngineKind;
 use mlp_aio::lock::ProcessExclusiveLock;
 use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
 use mlp_optim::{SubgroupState, SubgroupStateMut};
@@ -188,6 +189,12 @@ impl MlpFuncEngine {
             .enumerate()
             .map(|(ti, t)| {
                 let mut aio = t.aio.clone();
+                // A tier that pinned its own engine keeps it; everything
+                // left at Auto inherits the config-level choice (which is
+                // itself Auto unless the run pinned one for A/B).
+                if aio.engine == EngineKind::Auto {
+                    aio.engine = cfg.io_engine;
+                }
                 let backend: Arc<dyn Backend> = if trace.is_enabled() {
                     aio.trace = trace.clone();
                     aio.trace_tier = ti as i32;

@@ -55,6 +55,72 @@ pub trait Backend: Send + Sync + 'static {
     fn contains(&self, key: &str) -> bool;
     /// A short display name for diagnostics.
     fn name(&self) -> &str;
+    /// Raw-file escape hatch for kernel-backed I/O engines (io_uring,
+    /// mmap): the filesystem coordinates of `key`, if this backend is
+    /// plainly file-backed.
+    ///
+    /// The default returns `None`, which is the correct answer for
+    /// in-memory backends **and for every decorator** (fault injection,
+    /// checksumming, tracing): declining the escape hatch forces engines
+    /// back onto the portable [`Backend::read`]/[`Backend::write`] calls,
+    /// so decorators always stay on the data path. Engines treat a `Some`
+    /// answer as an optimization opportunity, never a requirement — they
+    /// must fall back to the portable calls per-op whenever the raw path
+    /// cannot serve the operation.
+    ///
+    /// Raw writers must preserve the backend's publication protocol:
+    /// write the payload to a unique sibling tmp file (see
+    /// [`unique_tmp_sibling`]) and atomically rename it over
+    /// [`RawFileTarget::path`], honouring [`RawFileTarget::fsync`].
+    fn raw_target(&self, _key: &str) -> Option<RawFileTarget> {
+        None
+    }
+}
+
+/// Filesystem coordinates of one object, as reported by
+/// [`Backend::raw_target`].
+#[derive(Clone, Debug)]
+pub struct RawFileTarget {
+    /// The file storing the object. May not exist yet (raw writes create
+    /// it via tmp-and-rename; raw reads of a missing object fail with
+    /// `NotFound`, matching the portable path).
+    pub path: PathBuf,
+    /// Whether writes must `fsync` before renaming into place (the
+    /// backend's durability contract, e.g. a checkpoint target).
+    pub fsync: bool,
+    /// Whether the backend permits `O_DIRECT` opens on this file. A hint:
+    /// engines still probe the filesystem once and degrade to buffered
+    /// I/O when the open fails.
+    pub direct_io: bool,
+}
+
+/// Derives a unique tmp-file sibling of `path` (same directory, same full
+/// file name plus a `.pid.counter.tmp` suffix).
+///
+/// Shared by [`DirBackend::write`] and the raw-write paths of the I/O
+/// engines so every writer follows the same torn-write-proof protocol:
+/// the pid + process-wide counter keep two concurrent writers of the same
+/// key on distinct tmp files, and keeping the full file name avoids the
+/// historical `with_extension` collision between dotted keys.
+pub fn unique_tmp_sibling(path: &Path) -> io::Result<PathBuf> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("path {path:?} has no file name"),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    Ok(path.with_file_name(format!(
+        "{}.{}.{}.tmp",
+        file_name,
+        std::process::id(),
+        // relaxed-ok: uniqueness comes from the atomic RMW itself;
+        // no other memory is published through this counter
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    )))
 }
 
 // ---------------------------------------------------------------------------
@@ -180,6 +246,7 @@ pub struct DirBackend {
     name: String,
     root: PathBuf,
     fsync: bool,
+    direct_io: bool,
 }
 
 impl DirBackend {
@@ -191,6 +258,7 @@ impl DirBackend {
             name: name.into(),
             root,
             fsync: false,
+            direct_io: true,
         })
     }
 
@@ -199,6 +267,15 @@ impl DirBackend {
     /// offload staging (a crash loses the training run anyway).
     pub fn with_fsync(mut self, fsync: bool) -> Self {
         self.fsync = fsync;
+        self
+    }
+
+    /// Whether raw I/O engines may try `O_DIRECT` on this directory
+    /// (default `true`; engines probe and fall back on filesystems that
+    /// reject the flag, so disabling is only needed to *force* buffered
+    /// I/O, e.g. to keep a benchmark in page cache).
+    pub fn with_direct_io(mut self, direct_io: bool) -> Self {
+        self.direct_io = direct_io;
         self
     }
 
@@ -230,26 +307,9 @@ impl Backend for DirBackend {
             std::fs::create_dir_all(parent)?;
         }
         // Write-then-rename for atomic replacement, as a real offloading
-        // engine must not expose torn subgroup state to a concurrent fetch.
-        // The tmp name keeps the full file name (`with_extension` mapped
-        // `model.bin` and `model.dat` to the same `model.tmp`) and is made
-        // unique per write (pid + counter), so two I/O workers writing the
-        // same key never interleave into one tmp file.
-        let file_name = path
-            .file_name()
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidInput, format!("bad object key {key:?}"))
-            })?
-            .to_string_lossy()
-            .into_owned();
-        let tmp = path.with_file_name(format!(
-            "{}.{}.{}.tmp",
-            file_name,
-            std::process::id(),
-            // relaxed-ok: uniqueness comes from the atomic RMW itself;
-            // no other memory is published through this counter
-            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-        ));
+        // engine must not expose torn subgroup state to a concurrent fetch
+        // (see `unique_tmp_sibling` for the tmp-naming rationale).
+        let tmp = unique_tmp_sibling(&path)?;
         let result = (|| {
             if self.fsync {
                 use std::io::Write;
@@ -301,6 +361,15 @@ impl Backend for DirBackend {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn raw_target(&self, key: &str) -> Option<RawFileTarget> {
+        let path = self.path_for(key).ok()?;
+        Some(RawFileTarget {
+            path,
+            fsync: self.fsync,
+            direct_io: self.direct_io,
+        })
     }
 }
 
@@ -522,6 +591,44 @@ mod tests {
         assert_eq!(b.read("model.bin").unwrap(), vec![1u8; 8]);
         assert_eq!(b.read("model.dat").unwrap(), vec![2u8; 9]);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn raw_target_reports_dir_backend_coordinates() {
+        let root = temp_root("raw");
+        let b = DirBackend::new("dir", &root).unwrap().with_fsync(true);
+        let t = b.raw_target("rank0/sub1").expect("file-backed");
+        assert_eq!(t.path, root.join("rank0/sub1"));
+        assert!(t.fsync);
+        assert!(t.direct_io);
+        let t = b
+            .with_direct_io(false)
+            .raw_target("rank0/sub1")
+            .expect("file-backed");
+        assert!(!t.direct_io);
+        // Escaping keys get no raw coordinates either.
+        let root2 = temp_root("raw2");
+        let b2 = DirBackend::new("dir", &root2).unwrap();
+        assert!(b2.raw_target("../evil").is_none());
+        // MemBackend (and, via the default impl, every decorator) declines.
+        assert!(MemBackend::new("mem").raw_target("k").is_none());
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&root2);
+    }
+
+    #[test]
+    fn unique_tmp_siblings_never_collide_and_keep_the_directory() {
+        let path = Path::new("/x/y/model.bin");
+        let a = unique_tmp_sibling(path).unwrap();
+        let b = unique_tmp_sibling(path).unwrap();
+        assert_ne!(a, b);
+        for t in [&a, &b] {
+            assert_eq!(t.parent(), path.parent());
+            let name = t.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(name.starts_with("model.bin."), "{name}");
+            assert!(name.ends_with(".tmp"), "{name}");
+        }
+        assert!(unique_tmp_sibling(Path::new("/")).is_err());
     }
 
     #[test]

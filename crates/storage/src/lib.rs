@@ -31,7 +31,7 @@ pub mod sim_tier;
 pub mod spec;
 pub mod traced;
 
-pub use backend::{Backend, DirBackend, MemBackend};
+pub use backend::{unique_tmp_sibling, Backend, DirBackend, MemBackend, RawFileTarget};
 pub use fault::{classify, is_transient, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend};
 pub use integrity::ChecksummedBackend;
 pub use sim_tier::SimTier;

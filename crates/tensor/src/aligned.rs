@@ -1,0 +1,308 @@
+//! Alignment-aware bounce buffers for kernel-backed I/O engines.
+//!
+//! `O_DIRECT` file I/O and io_uring registered buffers both require the
+//! user-space buffer to satisfy an alignment contract far stricter than
+//! `Vec<u8>` provides: the buffer address *and* the transfer length must be
+//! multiples of the filesystem's logical block size (4096 bytes covers every
+//! filesystem we target). [`AlignedBuf`] is a heap allocation with an
+//! explicit alignment, and [`AlignedPool`] recycles a fixed set of them so
+//! the io_uring driver can register the pool once
+//! (`IORING_REGISTER_BUFFERS`) and then address buffers by index for the
+//! lifetime of the ring.
+//!
+//! Like [`HostBuffer`](crate::buffer::HostBuffer), this is one of the
+//! contained uses of `unsafe` in the workspace (the workspace lint confines
+//! `unsafe` to this crate plus the `mlp-aio` syscall shim); everything else
+//! consumes the safe slice views.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+
+/// The alignment every direct-I/O capable buffer in the workspace uses.
+///
+/// 4096 bytes is the logical block size of every filesystem the offload
+/// tiers target (ext4, xfs, tmpfs) and the page size of the supported
+/// architectures, so it satisfies both the `O_DIRECT` address/length
+/// contract and io_uring's registered-buffer expectations.
+pub const DIRECT_IO_ALIGN: usize = 4096;
+
+/// A fixed-size, explicitly aligned heap buffer.
+///
+/// The allocation address is a multiple of `align` and the capacity is
+/// rounded up to a multiple of `align`, so the whole buffer can be handed
+/// to `O_DIRECT` reads/writes (which transfer in whole aligned blocks)
+/// without a second copy.
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    /// Allocated capacity in bytes; always a non-zero multiple of `align`.
+    cap: usize,
+    align: usize,
+}
+
+// SAFETY: `AlignedBuf` owns its allocation exclusively (the raw pointer is
+// never shared or aliased outside the borrow-checked slice views below), so
+// moving the owner to another thread moves unique access with it — the same
+// argument that makes `Vec<u8>` `Send`.
+unsafe impl Send for AlignedBuf {}
+
+// SAFETY: shared references only expose `&self` methods that read through
+// the pointer (`as_bytes`, accessors); mutation requires `&mut self`. With
+// aliasing controlled by the borrow checker exactly as for `Vec<u8>`,
+// concurrent `&AlignedBuf` access is data-race free.
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zero-filled buffer of at least `len` bytes whose address
+    /// and capacity are multiples of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two, if `len` is zero,
+    /// or if the rounded size overflows `isize` (allocation-size limit).
+    pub fn zeroed(len: usize, align: usize) -> AlignedBuf {
+        assert!(
+            align.is_power_of_two(),
+            "AlignedBuf: align must be a power of two, got {align}"
+        );
+        assert!(len > 0, "AlignedBuf: zero-length buffers are not allocatable");
+        // Both conversions panic only on the documented `# Panics`
+        // contract of this constructor (allocation-size misuse).
+        let cap = len
+            .checked_next_multiple_of(align)
+            // lint:allow(hot-path-panic): documented constructor panic
+            .expect("AlignedBuf: size overflow rounding to alignment");
+        let layout = Layout::from_size_align(cap, align)
+            // lint:allow(hot-path-panic): documented constructor panic
+            .expect("AlignedBuf: invalid layout (size exceeds isize::MAX)");
+        // SAFETY: `layout` has non-zero size (`len > 0` and rounding only
+        // grows it) and a valid power-of-two alignment, which is all
+        // `alloc_zeroed` requires. A null return means the allocator
+        // failed; `handle_alloc_error` diverges, so `NonNull::new_unchecked`
+        // below only runs on a non-null pointer.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, cap, align }
+    }
+
+    /// Capacity in bytes (always a multiple of [`AlignedBuf::align`]).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The alignment the buffer was allocated with.
+    pub fn align(&self) -> usize {
+        self.align
+    }
+
+    /// Rounds `len` up to the next multiple of this buffer's alignment —
+    /// the transfer length an `O_DIRECT` operation must use to cover `len`
+    /// payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded length exceeds the buffer capacity.
+    pub fn padded_len(&self, len: usize) -> usize {
+        let padded = len
+            .checked_next_multiple_of(self.align)
+            // lint:allow(hot-path-panic): documented `# Panics` contract
+            .expect("AlignedBuf: padded length overflows");
+        assert!(
+            padded <= self.cap,
+            "AlignedBuf: padded length {padded} exceeds capacity {}",
+            self.cap
+        );
+        padded
+    }
+
+    /// Read-only view of the whole capacity.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `zeroed` allocated (and zero-initialized) exactly
+        // `self.cap` bytes at `self.ptr`, the buffer never reallocates or
+        // shrinks, and `cap <= isize::MAX` is guaranteed by the `Layout`
+        // check at construction. The borrow is tied to `&self`, so the
+        // allocation outlives the slice and cannot be mutated through
+        // `&mut self` while it is live.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.cap) }
+    }
+
+    /// Mutable view of the whole capacity.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: same bounds/validity/initialization argument as
+        // `as_bytes`; `&mut self` additionally guarantees exclusive access
+        // to the allocation for the borrow's lifetime, so no other view
+        // aliases it.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.cap) }
+    }
+
+    /// Copies `src` into the front of the buffer and zero-pads the rest of
+    /// the covering aligned block (so padded `O_DIRECT` writes never leak
+    /// stale bytes from a previous operation into the file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit.
+    pub fn fill_from(&mut self, src: &[u8]) {
+        let padded = self.padded_len(src.len().max(1));
+        let bytes = self.as_bytes_mut();
+        bytes[..src.len()].copy_from_slice(src);
+        bytes[src.len()..padded].fill(0);
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        // The layout reconstructed here is the one used at allocation:
+        // `cap` and `align` are immutable after construction.
+        let layout = Layout::from_size_align(self.cap, self.align)
+            // lint:allow(hot-path-panic): infallible — this exact layout
+            // was validated by the constructor; both fields are immutable
+            .expect("AlignedBuf: layout was validated at construction");
+        // SAFETY: `self.ptr` came from `alloc_zeroed` with this exact
+        // layout and has not been freed (Drop runs at most once, and no
+        // other code path deallocates).
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf({} bytes @ {})", self.cap, self.align)
+    }
+}
+
+/// A non-blocking free list of same-shaped [`AlignedBuf`]s.
+///
+/// Unlike [`PinnedPool`](crate::pool::PinnedPool) this never blocks and
+/// never caps the number of live buffers: `acquire` hands out a recycled
+/// buffer when one is idle and allocates a fresh one otherwise. The
+/// io_uring driver sizes its pool to the submission-queue depth up front
+/// (so registration covers every buffer) and only ever recycles; other
+/// engines can over-acquire harmlessly.
+pub struct AlignedPool {
+    idle: mlp_sync::Mutex<Vec<AlignedBuf>>,
+    buf_bytes: usize,
+    align: usize,
+}
+
+impl AlignedPool {
+    /// Creates a pool of `count` pre-allocated buffers of `buf_bytes`
+    /// (rounded up to `align`) each.
+    pub fn new(count: usize, buf_bytes: usize, align: usize) -> AlignedPool {
+        let idle = (0..count)
+            .map(|_| AlignedBuf::zeroed(buf_bytes.max(1), align))
+            .collect();
+        AlignedPool {
+            idle: mlp_sync::Mutex::new(idle),
+            buf_bytes: buf_bytes.max(1),
+            align,
+        }
+    }
+
+    /// Takes an idle buffer, allocating a new one if the free list is
+    /// empty.
+    pub fn acquire(&self) -> AlignedBuf {
+        if let Some(buf) = self.idle.lock().pop() {
+            return buf;
+        }
+        AlignedBuf::zeroed(self.buf_bytes, self.align)
+    }
+
+    /// Returns a buffer to the free list. Buffers of a different shape
+    /// (capacity or alignment) are dropped instead of pooled.
+    pub fn release(&self, buf: AlignedBuf) {
+        let expected_cap = self
+            .buf_bytes
+            .checked_next_multiple_of(self.align)
+            // lint:allow(hot-path-panic): infallible — the constructor
+            // already rounded this same (buf_bytes, align) pair
+            .expect("AlignedPool: shape was validated at construction");
+        if buf.capacity() == expected_cap && buf.align() == self.align {
+            self.idle.lock().push(buf);
+        }
+    }
+
+    /// Bytes of payload each pooled buffer holds.
+    pub fn buf_bytes(&self) -> usize {
+        self.buf_bytes
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_address_and_capacity_are_aligned() {
+        for (len, align) in [(1, 512), (4096, 4096), (4097, 4096), (100_000, 4096)] {
+            let buf = AlignedBuf::zeroed(len, align);
+            assert_eq!(buf.as_bytes().as_ptr() as usize % align, 0, "{len}/{align}");
+            assert_eq!(buf.capacity() % align, 0);
+            assert!(buf.capacity() >= len);
+        }
+    }
+
+    #[test]
+    fn buffer_is_zero_initialized_and_writable() {
+        let mut buf = AlignedBuf::zeroed(8192, 4096);
+        assert!(buf.as_bytes().iter().all(|&b| b == 0));
+        buf.as_bytes_mut()[4095] = 7;
+        assert_eq!(buf.as_bytes()[4095], 7);
+    }
+
+    #[test]
+    fn fill_from_zero_pads_the_covering_block() {
+        let mut buf = AlignedBuf::zeroed(8192, 4096);
+        buf.as_bytes_mut().fill(0xFF);
+        buf.fill_from(&[1, 2, 3]);
+        assert_eq!(&buf.as_bytes()[..3], &[1, 2, 3]);
+        // The rest of the first aligned block is scrubbed...
+        assert!(buf.as_bytes()[3..4096].iter().all(|&b| b == 0));
+        // ...while blocks beyond the padded length are untouched.
+        assert!(buf.as_bytes()[4096..].iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn padded_len_rounds_up() {
+        let buf = AlignedBuf::zeroed(8192, 4096);
+        assert_eq!(buf.padded_len(1), 4096);
+        assert_eq!(buf.padded_len(4096), 4096);
+        assert_eq!(buf.padded_len(4097), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn padded_len_rejects_overflowing_requests() {
+        AlignedBuf::zeroed(4096, 4096).padded_len(4097);
+    }
+
+    #[test]
+    fn pool_recycles_and_overflows() {
+        let pool = AlignedPool::new(2, 4096, 4096);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire(); // free list empty: fresh allocation
+        assert_eq!(c.capacity(), 4096);
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        let again = pool.acquire();
+        assert_eq!(again.capacity(), 4096);
+    }
+
+    #[test]
+    fn pool_drops_foreign_shapes() {
+        let pool = AlignedPool::new(1, 4096, 4096);
+        pool.release(AlignedBuf::zeroed(16384, 4096)); // wrong capacity: dropped
+        let buf = pool.acquire();
+        assert_eq!(buf.capacity(), 4096);
+    }
+
+    #[test]
+    fn send_and_sync_bounds_hold() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignedBuf>();
+        assert_send_sync::<AlignedPool>();
+    }
+}

@@ -13,8 +13,17 @@
 //! * `safety-comment` — every `unsafe` keyword must be preceded by a
 //!   `// SAFETY:` comment explaining the proof obligation.
 //! * `unsafe-confinement` — `unsafe` may appear only in `mlp-tensor`
-//!   (the pinned-buffer FFI layer); every other crate root must carry
-//!   `#![deny(unsafe_code)]` so the compiler enforces it too.
+//!   (the pinned-buffer FFI layer) and the sanctioned syscall shim
+//!   `crates/aio/src/io_engine/sys.rs` (the io_uring/mmap kernel
+//!   interface, module-scoped `#![allow(unsafe_code)]`); every other
+//!   crate root must carry `#![deny(unsafe_code)]` so the compiler
+//!   enforces it too.
+//! * `raw-io-confinement` — raw kernel I/O (`syscall`, `io_uring_*`,
+//!   `mmap`/`munmap`, `O_DIRECT` opens via `custom_flags`, `libc`) may
+//!   appear only inside `crates/aio` (where the `IoEngine` trait owns
+//!   dispatch) and `mlp-tensor`'s FFI layer. Every other crate must go
+//!   through `AioEngine`/`Backend`, so engine backends stay reachable
+//!   only through the trait.
 //! * `facade-only` — the crates ported onto the `mlp-sync` facade must
 //!   not reach around it to `parking_lot`/`std::sync` primitives
 //!   (except `Arc`), otherwise the loom model checker silently loses
@@ -37,6 +46,12 @@ pub const HOT_PATH_CRATES: &[&str] = &["aio", "storage", "tensor", "core", "zero
 pub const FACADE_CRATES: &[&str] = &["aio", "tensor", "trace"];
 /// The only crate allowed to contain `unsafe` code.
 pub const UNSAFE_ALLOWED_CRATES: &[&str] = &["tensor"];
+/// Individually sanctioned `unsafe` files outside those crates: the
+/// aio syscall shim that every raw engine driver funnels through.
+pub const UNSAFE_ALLOWED_FILES: &[&str] = &["crates/aio/src/io_engine/sys.rs"];
+/// Crates allowed to touch raw kernel I/O interfaces (see
+/// `raw-io-confinement`): the engine subsystem and the FFI layer.
+pub const RAW_IO_ALLOWED_CRATES: &[&str] = &["aio", "tensor"];
 
 /// A lexed source file plus the workspace context the rules need.
 pub struct FileCtx {
@@ -106,6 +121,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Violation> {
     v.extend(hot_path_panic(ctx));
     v.extend(safety_comment(ctx));
     v.extend(unsafe_confinement(ctx));
+    v.extend(raw_io_confinement(ctx));
     v.extend(facade_only(ctx));
     v.extend(relaxed_audit(ctx));
     v.extend(trace_sink(ctx));
@@ -243,7 +259,8 @@ fn safety_comment(ctx: &FileCtx) -> Vec<Violation> {
 
 fn unsafe_confinement(ctx: &FileCtx) -> Vec<Violation> {
     let mut out = Vec::new();
-    let allowed = UNSAFE_ALLOWED_CRATES.contains(&ctx.crate_dir.as_str());
+    let allowed = UNSAFE_ALLOWED_CRATES.contains(&ctx.crate_dir.as_str())
+        || UNSAFE_ALLOWED_FILES.contains(&ctx.rel_path.as_str());
     if !allowed {
         for (i, line) in ctx.code.iter().enumerate() {
             if word_positions(line, "unsafe").is_empty() {
@@ -276,6 +293,44 @@ fn unsafe_confinement(ctx: &FileCtx) -> Vec<Violation> {
                 msg: "crate root missing `#![deny(unsafe_code)]` (required \
                       everywhere except mlp-tensor)"
                     .into(),
+            });
+        }
+    }
+    out
+}
+
+fn raw_io_confinement(ctx: &FileCtx) -> Vec<Violation> {
+    if RAW_IO_ALLOWED_CRATES.contains(&ctx.crate_dir.as_str()) {
+        return Vec::new();
+    }
+    // Tokens that mark a direct kernel I/O interface. `mmap`/`munmap`
+    // and `syscall` are word-bounded so identifiers like `mmap_like`
+    // or prose in string literals don't trip; `custom_flags(` is the
+    // only stable std doorway to O_DIRECT opens.
+    const WORD_TOKENS: &[&str] = &["syscall", "mmap", "munmap", "libc", "io_uring_setup", "io_uring_enter"];
+    const LITERAL_TOKENS: &[&str] = &[".custom_flags(", "O_DIRECT"];
+    let mut out = Vec::new();
+    for (i, line) in ctx.code.iter().enumerate() {
+        if ctx.in_test[i] || waived(ctx, i, "raw-io-confinement") {
+            continue;
+        }
+        let hit = WORD_TOKENS
+            .iter()
+            .find(|t| !word_positions(line, t).is_empty())
+            .or_else(|| LITERAL_TOKENS.iter().find(|t| line.contains(*t)));
+        if let Some(tok) = hit {
+            out.push(Violation {
+                rel_path: ctx.rel_path.clone(),
+                line: i + 1,
+                rule: "raw-io-confinement",
+                msg: format!(
+                    "`{tok}` outside the engine subsystem (crate `{}`): raw \
+                     kernel I/O must stay behind the `IoEngine` trait in \
+                     crates/aio — submit through `AioEngine` or add a \
+                     `Backend::raw_target` coordinate instead; waive with \
+                     `// lint:allow(raw-io-confinement): <reason>`",
+                    ctx.crate_dir
+                ),
             });
         }
     }
@@ -486,6 +541,46 @@ mod tests {
         let tensor_root =
             FileCtx::from_source("crates/tensor/src/lib.rs", "tensor", "pub mod buffer;\n");
         assert!(unsafe_confinement(&tensor_root).is_empty());
+    }
+
+    #[test]
+    fn aio_syscall_shim_is_individually_sanctioned() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: fine.\n    unsafe { *p }\n}\n";
+        let shim = FileCtx::from_source("crates/aio/src/io_engine/sys.rs", "aio", src);
+        assert!(unsafe_confinement(&shim).is_empty());
+
+        // Only that exact path is sanctioned: a sibling engine driver
+        // with unsafe code is still a violation.
+        let driver = FileCtx::from_source("crates/aio/src/io_engine/uring.rs", "aio", src);
+        assert_eq!(rules_of(&unsafe_confinement(&driver)), vec!["unsafe-confinement"]);
+    }
+
+    // ---- raw-io-confinement --------------------------------------------
+
+    #[test]
+    fn raw_io_outside_the_engine_subsystem_is_flagged() {
+        let src = "let fd = syscall(425, 8, &mut p, 0, 0, 0, 0);\nopts.custom_flags(O_DIRECT);\nlet m = mmap(core::ptr::null_mut(), len, 3, 2, fd, 0);\n";
+        let v = raw_io_confinement(&ctx("storage", src));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "raw-io-confinement"));
+
+        // The engine subsystem and the FFI layer own these interfaces.
+        assert!(raw_io_confinement(&ctx("aio", src)).is_empty());
+        assert!(raw_io_confinement(&ctx("tensor", src)).is_empty());
+    }
+
+    #[test]
+    fn raw_io_confinement_skips_lookalikes_tests_and_waivers() {
+        // Word boundaries: identifiers embedding the tokens are fine,
+        // and comments/strings are blanked before the rule runs.
+        let ok = "let mmap_plan = remap_syscalls();\nlet s = \"uses mmap and O_DIRECT\";\n// a comment about io_uring_setup\n";
+        assert!(raw_io_confinement(&ctx("storage", ok)).is_empty());
+
+        let tested = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = mmap(p, n, 3, 2, fd, 0); }\n}\n";
+        assert!(raw_io_confinement(&ctx("storage", tested)).is_empty());
+
+        let waived = "// lint:allow(raw-io-confinement): documented probe utility\nlet fd = syscall(425, 8, &mut p, 0, 0, 0, 0);\n";
+        assert!(raw_io_confinement(&ctx("storage", waived)).is_empty());
     }
 
     // ---- facade-only ---------------------------------------------------

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mlp_offload_suite::mlp_aio::{AioConfig, RetryPolicy};
+use mlp_offload_suite::mlp_aio::{for_each_engine, AioConfig, RetryPolicy};
 use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
 use mlp_offload_suite::mlp_offload::EngineConfig;
 use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
@@ -196,7 +196,7 @@ fn transient_faults_on_every_tier_are_invisible_to_training() {
         .iter()
         .map(|(name, seed)| {
             Arc::new(FaultInjectBackend::new(
-                Arc::new(MemBackend::new(name)) as Arc<dyn Backend>,
+                Arc::new(MemBackend::new(*name)) as Arc<dyn Backend>,
                 FaultConfig::transient(*seed, 0.2),
             ))
         })
@@ -239,13 +239,90 @@ fn transient_faults_on_every_tier_are_invisible_to_training() {
 }
 
 #[test]
+fn transient_faults_are_invisible_to_training_on_every_engine() {
+    // The tier-map template above, swept across every available
+    // `IoEngine` backend: tier "a" is a real directory so the raw
+    // engines (mmap, io_uring) drive their file paths, tier "b" injects
+    // 20% seeded transient faults through the portable path. Whatever
+    // backend serves the I/O, a multi-iteration run must stay
+    // bit-identical to the fault-free worker-pool twin.
+    let adam = AdamConfig::default();
+    let cfg = EngineConfig::mlp_offload().with_host_frames(8);
+
+    let clean_tiers = vec![
+        SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::new(MemBackend::new("b")) as Arc<dyn Backend>, 1.0),
+    ];
+    let mut want =
+        MlpFuncEngine::new(cfg.clone(), adam, &clean_tiers, 0, states(6, 16)).unwrap();
+    let mut want_out = Vec::new();
+    for _ in 0..3 {
+        want.accumulate_gradients(&grads(6, 16));
+        want_out.push(want.update().unwrap().fp16_params);
+    }
+    let want_master = want.master_params().unwrap();
+
+    for_each_engine!(|kind| {
+        let root = std::env::temp_dir().join(format!(
+            "mlp-fault-matrix-{}-{}",
+            kind.name(),
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&root).unwrap();
+        let inject = Arc::new(FaultInjectBackend::new(
+            Arc::new(MemBackend::new("b")) as Arc<dyn Backend>,
+            FaultConfig::transient(97, 0.2),
+        ));
+        let faulty_tiers = vec![
+            SharedTier::new(
+                Arc::new(mlp_offload_suite::mlp_storage::DirBackend::new("a", &root).unwrap())
+                    as Arc<dyn Backend>,
+                2.0,
+            )
+            .with_aio(AioConfig {
+                engine: kind,
+                retry: test_retry(8),
+                ..AioConfig::default()
+            }),
+            SharedTier::new(Arc::clone(&inject) as Arc<dyn Backend>, 1.0).with_aio(AioConfig {
+                engine: kind,
+                retry: test_retry(8),
+                ..AioConfig::default()
+            }),
+        ];
+        let mut engine =
+            MlpFuncEngine::new(cfg.clone(), adam, &faulty_tiers, 0, states(6, 16)).unwrap();
+        for (it, want_params) in want_out.iter().enumerate() {
+            engine.accumulate_gradients(&grads(6, 16));
+            let o = engine.update().unwrap();
+            assert_eq!(&o.fp16_params, want_params, "{kind}: iteration {it} diverged");
+        }
+        assert_eq!(
+            engine.master_params().unwrap(),
+            want_master,
+            "{kind}: master weights diverged"
+        );
+        assert!(
+            inject.counts().transient > 0,
+            "{kind}: injection never fired"
+        );
+        assert!(engine.io_retries() > 0, "{kind}: retries never recorded");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&root);
+    });
+}
+
+#[test]
 fn permanent_fault_on_one_tier_surfaces_typed_and_engine_redrives() {
     // One healthy tier, one that goes permanently dead mid-run: `update`
     // must return a typed permanent error without hanging or leaking, and
     // once the tier heals, re-driving the same iteration must converge to
-    // the bit-identical fault-free result.
+    // the bit-identical fault-free result. Host frames stay below the
+    // subgroup count so the iteration *must* spill to storage — with all
+    // six subgroups cache-resident the dead tier is never exercised and
+    // the update legitimately succeeds.
     let adam = AdamConfig::default();
-    let cfg = EngineConfig::mlp_offload().with_host_frames(8);
+    let cfg = EngineConfig::mlp_offload().with_host_frames(3);
 
     let clean_tiers = vec![
         SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
