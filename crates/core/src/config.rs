@@ -44,6 +44,24 @@ pub struct EngineConfig {
     /// Re-estimate tier bandwidths from observed transfers each iteration
     /// (§3.3 adaptation).
     pub adaptive_bandwidth: bool,
+    /// EMA weight of new observations in the bandwidth estimator:
+    /// `estimate ← (1-α)·estimate + α·observed` per iteration. A tier's
+    /// first observation replaces the microbenchmark prior outright
+    /// (warm start); from then on 0.5 reacts within a couple of
+    /// iterations without letting a one-iteration blip (a scheduler
+    /// hiccup, a single contended transfer) swing the estimate all the
+    /// way to the raw observation; 1.0 is memoryless.
+    /// Only meaningful with `adaptive_bandwidth`.
+    #[serde(default = "default_bandwidth_alpha")]
+    pub bandwidth_alpha: f64,
+    /// Migration budget of the adaptive planner: how many subgroups'
+    /// durable copies one iteration boundary may move between tiers to
+    /// chase the live Eq. 1 split. 0 (the default, and both presets)
+    /// disables migration — adaptive mode then only re-splits flush
+    /// writes, exactly the pre-planner behaviour. Only meaningful with
+    /// `adaptive_bandwidth`.
+    #[serde(default)]
+    pub max_migrations_per_iter: usize,
     /// Optional user-specified tier weights overriding measured bandwidths
     /// (the "2:1" split of §3.5). `None` uses measured bandwidths (Eq. 1).
     pub tier_ratio: Option<Vec<f64>>,
@@ -86,6 +104,10 @@ fn default_fused_update() -> bool {
     true
 }
 
+fn default_bandwidth_alpha() -> f64 {
+    0.5
+}
+
 impl EngineConfig {
     /// The DeepSpeed ZeRO-3 + DeepNVMe baseline: sequential order, cache
     /// thrashing, eager FP32 gradient offload, uncoordinated tier access.
@@ -99,6 +121,8 @@ impl EngineConfig {
             skip_gradient_offload: false,
             tier_exclusive_locking: false,
             adaptive_bandwidth: false,
+            bandwidth_alpha: default_bandwidth_alpha(),
+            max_migrations_per_iter: 0,
             tier_ratio: None,
             fused_update: true,
             deferred_flush_drain: false,
@@ -117,6 +141,8 @@ impl EngineConfig {
             skip_gradient_offload: true,
             tier_exclusive_locking: true,
             adaptive_bandwidth: true,
+            bandwidth_alpha: default_bandwidth_alpha(),
+            max_migrations_per_iter: 0,
             tier_ratio: None,
             fused_update: true,
             deferred_flush_drain: false,
@@ -141,6 +167,16 @@ impl EngineConfig {
     /// Sets an explicit tier ratio (e.g. from `"2:1"`).
     pub fn with_tier_ratio(mut self, ratio: Vec<f64>) -> Self {
         self.tier_ratio = Some(ratio);
+        self
+    }
+
+    /// Enables full adaptive re-planning: live bandwidth estimation plus
+    /// a per-iteration-boundary budget of durable-copy migrations between
+    /// tiers (0 keeps migration off; flush writes still re-split on the
+    /// live estimates whenever `adaptive_bandwidth` is on).
+    pub fn with_adaptive_replan(mut self, max_migrations_per_iter: usize) -> Self {
+        self.adaptive_bandwidth = true;
+        self.max_migrations_per_iter = max_migrations_per_iter;
         self
     }
 

@@ -18,6 +18,7 @@ use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
 use crate::config::EngineConfig;
 use crate::policy::allocation::{allocate_counts, assign_subgroups};
 use crate::policy::cache::FramePlan;
+use crate::policy::replan::AdaptivePlanner;
 use crate::stats::TierDistribution;
 
 /// Bookkeeping-invariant failure surfaced as a typed error instead of a
@@ -160,6 +161,17 @@ pub struct MlpFuncEngine {
     /// Set when an update phase failed mid-flight; the next `update` call
     /// re-drives the same iteration instead of starting a new one.
     in_progress: Option<IterProgress>,
+    /// Closed-loop §3.3 planner: folds the observed per-tier transfer
+    /// rates and retry rates into live bandwidth estimates, re-splits the
+    /// flush writes each iteration, and plans the bounded durable-copy
+    /// migrations executed at iteration boundaries.
+    planner: AdaptivePlanner,
+    /// Per-tier cumulative `(bytes_moved, busy_seconds, retries)` counter
+    /// snapshot from the tier I/O engines at the last planner feed, so
+    /// each iteration records only its own deltas.
+    io_snapshot: Vec<(u64, f64, u64)>,
+    /// Durable-copy migrations executed so far.
+    migrations_done: u64,
 }
 
 impl MlpFuncEngine {
@@ -217,6 +229,9 @@ impl MlpFuncEngine {
             Some(r) => r.clone(),
             None => tiers.iter().map(|t| t.weight).collect(),
         };
+        let mut planner =
+            AdaptivePlanner::new(weights.clone(), cfg.bandwidth_alpha, cfg.max_migrations_per_iter);
+        planner.attach_trace(&cfg.trace);
         let m = initial.len();
         let assignment = assign_subgroups(m, &weights);
         let subgroup_lens: Vec<usize> = initial.iter().map(SubgroupState::len).collect();
@@ -233,7 +248,8 @@ impl MlpFuncEngine {
         let state_pool =
             PinnedPool::new_traced(pool_capacity, buffer_bytes, "state", cfg.trace.clone());
 
-        let engine = MlpFuncEngine {
+        let ntiers = tiers.len();
+        let mut engine = MlpFuncEngine {
             state_pool,
             accum: mlp_optim::accum::GradAccumulator::new(&subgroup_lens),
             plan,
@@ -249,6 +265,9 @@ impl MlpFuncEngine {
             inv_loss_scale: 1.0,
             grad_clip_max_norm: None,
             in_progress: None,
+            planner,
+            io_snapshot: vec![(0, 0.0, 0); ntiers],
+            migrations_done: 0,
         };
 
         // Initial population: synchronous writes (not part of any measured
@@ -266,6 +285,10 @@ impl MlpFuncEngine {
         for h in handles {
             h.wait()?;
         }
+        // The population writes above are not part of any measured
+        // iteration; reset the counter snapshot so the first planner feed
+        // observes only training I/O.
+        engine.refresh_io_snapshot();
         Ok(engine)
     }
 
@@ -338,10 +361,23 @@ impl MlpFuncEngine {
     /// accumulated; subgroups already updated are skipped), producing the
     /// exact result of an iteration that never failed.
     pub fn update(&mut self) -> io::Result<UpdateOutcome> {
+        // Bounded durable-copy migration runs strictly at an iteration
+        // boundary: only when starting a fresh iteration (a pending
+        // re-drive must replay against unchanged placements to stay
+        // bit-identical to an iteration that never failed).
+        if self.in_progress.is_none()
+            && self.cfg.adaptive_bandwidth
+            && self.cfg.max_migrations_per_iter > 0
+        {
+            self.run_migrations()?;
+        }
         let m = self.subgroup_lens.len();
         let order = self.cfg.order.order(self.iter, m);
         let weights: Vec<f64> = match &self.cfg.tier_ratio {
             Some(r) => r.clone(),
+            // Closed loop (§3.3): re-split this iteration's flush writes
+            // on the live estimates instead of construction-time weights.
+            None if self.cfg.adaptive_bandwidth => self.planner.estimates().to_vec(),
             None => self.tiers.iter().map(|t| t.weight).collect(),
         };
         // Eq. 1 proportions; actual flush count depends on cache hits.
@@ -398,6 +434,13 @@ impl MlpFuncEngine {
         match result {
             Ok(()) => {
                 self.accum.reset();
+                if self.cfg.adaptive_bandwidth {
+                    // Feed the observed per-tier transfer and retry rates
+                    // back into the estimator and fold the EMA, closing
+                    // the §3.3 loop for the next iteration's split.
+                    self.feed_planner();
+                    self.planner.end_iteration();
+                }
                 self.iter += 1;
                 Ok(outcome)
             }
@@ -953,6 +996,139 @@ impl MlpFuncEngine {
         self.resident.len()
     }
 
+    /// Records the I/O each tier performed since the last feed into the
+    /// planner's bandwidth estimator: deltas of the cumulative
+    /// bytes-moved / busy-seconds / retry counters kept by the tier
+    /// [`AioEngine`]s (the real-bytes analogue of the simulated engine's
+    /// per-transfer timings).
+    fn feed_planner(&mut self) {
+        for t in 0..self.tiers.len() {
+            let (r, w) = self.tiers[t].engine.bytes_moved();
+            let bytes = r + w;
+            let busy = self.tiers[t].engine.busy_seconds();
+            let retries = self.tiers[t].engine.retries();
+            let (pb, pbusy, pr) = self.io_snapshot[t];
+            let dbytes = bytes.saturating_sub(pb);
+            let dbusy = busy - pbusy;
+            let dretries = retries.saturating_sub(pr);
+            if dbytes > 0 && dbusy > 0.0 {
+                self.planner.record(t, dbytes, dbusy);
+            }
+            if dretries > 0 {
+                self.planner.record_retries(t, dretries);
+            }
+            self.io_snapshot[t] = (bytes, busy, retries);
+        }
+    }
+
+    /// Re-bases the planner-feed snapshot on the tiers' current counters,
+    /// discarding any I/O performed since the last feed.
+    fn refresh_io_snapshot(&mut self) {
+        for t in 0..self.tiers.len() {
+            let (r, w) = self.tiers[t].engine.bytes_moved();
+            self.io_snapshot[t] = (
+                r + w,
+                self.tiers[t].engine.busy_seconds(),
+                self.tiers[t].engine.retries(),
+            );
+        }
+    }
+
+    /// Executes the planner's bounded migration plan: moves up to
+    /// `max_migrations_per_iter` durable subgroup copies toward the
+    /// current Eq. 1 split. Host-resident subgroups are never touched
+    /// (the cache-hit sequence is unchanged) and each step keeps a
+    /// durable copy live at every instant: read the source copy, write
+    /// the destination and wait for it, and only then retire the source.
+    fn run_migrations(&mut self) -> io::Result<()> {
+        let placements: Vec<Option<usize>> = self
+            .placement
+            .iter()
+            .map(|p| match p {
+                Placement::Tier(t) => Some(*t),
+                Placement::Host => None,
+            })
+            .collect();
+        let steps = self.planner.plan_migrations(&placements);
+        if self.cfg.trace.is_enabled() {
+            self.cfg.trace.instant(
+                Phase::Replan,
+                Attrs {
+                    bytes: steps.len() as u64,
+                    ..Attrs::NONE
+                },
+                self.cfg.trace.now_ns(),
+            );
+        }
+        for step in steps {
+            let key = self.key(step.subgroup);
+            let started = self.cfg.trace.now_ns();
+            let data = {
+                let _g = self.tiers[step.from].lock.acquire(self.worker_id);
+                self.tiers[step.from]
+                    .engine
+                    .submit_read(&key)
+                    .wait()?
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "migration read of subgroup {} returned no payload",
+                                step.subgroup
+                            ),
+                        )
+                    })?
+            };
+            let bytes = data.len() as u64;
+            {
+                let _g = self.tiers[step.to].lock.acquire(self.worker_id);
+                self.tiers[step.to].engine.submit_write(&key, data).wait()?;
+            }
+            // The destination copy is durable; the source is now garbage.
+            self.placement[step.subgroup] = Placement::Tier(step.to);
+            {
+                // A failed delete leaves a stale source copy behind — a
+                // space leak, not a correctness problem (the key is never
+                // read from the old tier again) — so it does not fail the
+                // iteration; the engine's op_errors counter records it.
+                let _g = self.tiers[step.from].lock.acquire(self.worker_id);
+                let _ = self.tiers[step.from].engine.submit_delete(&key).wait();
+            }
+            self.migrations_done += 1;
+            if self.cfg.trace.is_enabled() {
+                self.cfg.trace.complete_span(
+                    Phase::Migrate,
+                    Attrs {
+                        tier: step.to as i32,
+                        subgroup: step.subgroup as i64,
+                        bytes,
+                        ..Attrs::NONE
+                    },
+                    started,
+                    self.cfg.trace.now_ns(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Live per-tier bandwidth estimates (bytes/second, or the
+    /// construction-time weights until the first adaptive fold).
+    pub fn bandwidth_estimates(&self) -> Vec<f64> {
+        self.planner.estimates().to_vec()
+    }
+
+    /// Re-plans the adaptive planner has completed (estimator folds, one
+    /// per adaptive iteration).
+    pub fn planner_replans(&self) -> u64 {
+        self.planner.replans()
+    }
+
+    /// Durable-copy migrations executed between tiers so far.
+    pub fn migrations_done(&self) -> u64 {
+        self.migrations_done
+    }
+
     /// Transient-error re-attempts performed by the retry layer, summed
     /// across all tier I/O engines.
     pub fn io_retries(&self) -> u64 {
@@ -1219,6 +1395,67 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(r, &results[0], "subgroup order/caching changed the math");
         }
+    }
+
+    #[test]
+    fn adaptive_migration_is_bit_identical_to_the_static_plan() {
+        let adam = AdamConfig::default();
+        // Static twin: fixed 2:1 weights, no re-planning.
+        let mut fixed = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(3),
+            adam,
+            &tiers(2),
+            0,
+            init_states(10, 24),
+        )
+        .unwrap();
+        // Adaptive twin over deliberately mis-weighted tiers (8:1 while
+        // both backends are equally fast memory): the live estimates
+        // converge toward the real 1:1 split and the planner migrates
+        // durable copies off the over-loaded tier.
+        let mut shared = tiers(2);
+        shared[0].weight = 8.0;
+        shared[1].weight = 1.0;
+        let trace = mlp_trace::TraceSink::enabled();
+        let cfg = EngineConfig::mlp_offload()
+            .with_host_frames(3)
+            .with_adaptive_replan(4)
+            .with_trace(trace.clone());
+        let mut adaptive = MlpFuncEngine::new(cfg, adam, &shared, 0, init_states(10, 24)).unwrap();
+
+        for it in 0..6 {
+            let grads = grads_for(10, 24, it as f32);
+            fixed.accumulate_gradients(&grads);
+            adaptive.accumulate_gradients(&grads);
+            let a = fixed.update().unwrap();
+            let b = adaptive.update().unwrap();
+            assert_eq!(
+                a.cache_hits, b.cache_hits,
+                "iter {it}: migration broke the cache-hit guarantee"
+            );
+            assert_eq!(a.fp16_params, b.fp16_params, "iter {it}: results diverged");
+        }
+        assert_eq!(
+            fixed.master_params().unwrap(),
+            adaptive.master_params().unwrap(),
+            "adaptive re-planning changed the math"
+        );
+        assert!(adaptive.planner_replans() >= 6, "planner never folded");
+        assert!(
+            adaptive.migrations_done() > 0,
+            "skewed initial placement should trigger at least one migration"
+        );
+
+        // Planner decisions are exported as trace events: one replan
+        // instant per adaptive iteration boundary (bytes = steps
+        // scheduled), one migrate span per executed step.
+        let events = trace.events();
+        assert!(
+            events.iter().any(|e| e.phase == Phase::Replan),
+            "no replan events exported"
+        );
+        let migrate_spans = events.iter().filter(|e| e.phase == Phase::Migrate).count();
+        assert_eq!(migrate_spans as u64, adaptive.migrations_done());
     }
 
     #[test]

@@ -48,3 +48,4 @@ pub use config::{AblationStage, EngineConfig};
 pub use mlp_aio::{AioConfig, EngineKind, RetryPolicy};
 pub use policy::allocation::BandwidthEstimator;
 pub use policy::ordering::OrderPolicy;
+pub use policy::replan::{AdaptivePlanner, MigrationStep};

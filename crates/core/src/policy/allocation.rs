@@ -9,6 +9,8 @@
 //! observed per-subgroup transfer rates after every iteration, adapting to
 //! external load shifts on shared tiers (e.g. a busy PFS).
 
+use mlp_trace::Counter;
+
 /// Splits `m` subgroups across tiers proportionally to `bandwidths`
 /// (Eq. 1, largest-remainder rounding so the counts sum to exactly `m`).
 ///
@@ -25,14 +27,16 @@ pub fn allocate_counts(m: usize, bandwidths: &[f64]) -> Vec<usize> {
     let exact: Vec<f64> = bandwidths.iter().map(|b| m as f64 * b / total).collect();
     let mut counts: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
     let mut assigned: usize = counts.iter().sum();
-    // Hand remaining subgroups to the largest fractional remainders
-    // (ties broken toward lower tier index for determinism).
+    // Hand remaining subgroups to the largest fractional remainders.
+    // Remainders are materialized once so the comparator is a pure
+    // lookup, and ties break toward the lower tier index: the rounding
+    // must be a deterministic function of `(m, bandwidths)` because the
+    // adaptive planner compares successive plans to decide migrations —
+    // a tie resolved differently across calls would read as a bandwidth
+    // shift and trigger spurious data movement.
+    let rem: Vec<f64> = exact.iter().map(|&e| e - e.floor()).collect();
     let mut order: Vec<usize> = (0..bandwidths.len()).collect();
-    order.sort_by(|&a, &b| {
-        let fa = exact[a] - exact[a].floor();
-        let fb = exact[b] - exact[b].floor();
-        fb.total_cmp(&fa).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| rem[b].total_cmp(&rem[a]).then(a.cmp(&b)));
     let mut i = 0;
     while assigned < m {
         counts[order[i % order.len()]] += 1;
@@ -71,15 +75,42 @@ pub fn assign_subgroups(m: usize, bandwidths: &[f64]) -> Vec<usize> {
     out
 }
 
-/// Adaptive per-tier bandwidth estimation (§3.3): blends the initial
-/// microbenchmark value with the observed per-iteration transfer rates
-/// using an exponential moving average.
-#[derive(Clone, Debug)]
+/// Adaptive per-tier bandwidth estimation (§3.3): a tier's first real
+/// observation replaces the initial microbenchmark value outright (warm
+/// start), after which observed per-iteration transfer rates blend in
+/// through an exponential moving average. Retries reported by the fault
+/// layer discount a tier's observed rate (a path that burns attempts on
+/// transient faults is worth less than its raw throughput suggests).
+#[derive(Clone)]
 pub struct BandwidthEstimator {
     current: Vec<f64>,
+    /// Tiers that have folded in at least one real observation. Until
+    /// then `current` holds the microbenchmark prior, which can be
+    /// systematically off in-engine (contention, per-op overheads), so
+    /// the first observation replaces it outright instead of EMA-blending
+    /// — the estimator converges in one iteration while later blips are
+    /// still damped by `alpha`.
+    seen: Vec<bool>,
     pending_bytes: Vec<f64>,
     pending_secs: Vec<f64>,
+    pending_ops: Vec<f64>,
+    pending_retries: Vec<f64>,
     alpha: f64,
+    /// Observations against a tier index the estimator does not track.
+    /// Counted instead of panicking: `record` sits on the I/O completion
+    /// path, where a bad index from a mis-wired feedback source must not
+    /// tear down a worker (hot-path panic-freedom rule).
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for BandwidthEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BandwidthEstimator")
+            .field("current", &self.current)
+            .field("alpha", &self.alpha)
+            .field("dropped", &self.dropped.get())
+            .finish_non_exhaustive()
+    }
 }
 
 impl BandwidthEstimator {
@@ -95,9 +126,13 @@ impl BandwidthEstimator {
         let n = initial.len();
         BandwidthEstimator {
             current: initial,
+            seen: vec![false; n],
             pending_bytes: vec![0.0; n],
             pending_secs: vec![0.0; n],
+            pending_ops: vec![0.0; n],
+            pending_retries: vec![0.0; n],
             alpha,
+            dropped: Counter::detached(),
         }
     }
 
@@ -106,13 +141,47 @@ impl BandwidthEstimator {
         self.current.len()
     }
 
+    /// Routes out-of-range observation drops to `counter` (typically the
+    /// sink's `planner.dropped_observations`) instead of the detached
+    /// default, so a mis-wired feedback source is visible in metrics.
+    pub fn attach_dropped_counter(&mut self, counter: Counter) {
+        self.dropped = counter;
+    }
+
+    /// Observations ignored because their tier index was out of range.
+    pub fn dropped_observations(&self) -> u64 {
+        self.dropped.get()
+    }
+
     /// Records one observed transfer (fetch or flush) against `tier`.
+    ///
+    /// An out-of-range `tier` is ignored and counted (see
+    /// [`Self::attach_dropped_counter`]) rather than panicking: this is
+    /// called from I/O completion paths.
     pub fn record(&mut self, tier: usize, bytes: u64, secs: f64) {
-        if secs <= 0.0 {
+        if tier >= self.current.len() {
+            self.dropped.inc();
+            return;
+        }
+        if secs <= 0.0 || !secs.is_finite() {
             return;
         }
         self.pending_bytes[tier] += bytes as f64;
         self.pending_secs[tier] += secs;
+        self.pending_ops[tier] += 1.0;
+    }
+
+    /// Reports `retries` fault-layer retry attempts against `tier` this
+    /// iteration. Folded in at [`Self::end_iteration`] as a multiplicative
+    /// discount `ops / (ops + retries)` on the observed bandwidth, so a
+    /// flaky path sheds load beyond what its raw throughput loses.
+    /// Out-of-range tiers are ignored and counted, like [`Self::record`].
+    pub fn record_retries(&mut self, tier: usize, retries: u64) {
+        if tier >= self.current.len() {
+            self.dropped.inc();
+            return;
+        }
+        self.pending_retries[tier] += retries as f64;
     }
 
     /// Folds the iteration's observations into the estimates (call once
@@ -120,11 +189,26 @@ impl BandwidthEstimator {
     pub fn end_iteration(&mut self) {
         for t in 0..self.current.len() {
             if self.pending_secs[t] > 0.0 {
-                let observed = self.pending_bytes[t] / self.pending_secs[t];
-                self.current[t] = (1.0 - self.alpha) * self.current[t] + self.alpha * observed;
+                let mut observed = self.pending_bytes[t] / self.pending_secs[t];
+                if self.pending_retries[t] > 0.0 && self.pending_ops[t] > 0.0 {
+                    observed *=
+                        self.pending_ops[t] / (self.pending_ops[t] + self.pending_retries[t]);
+                }
+                if observed.is_finite() && observed > 0.0 {
+                    self.current[t] = if self.seen[t] {
+                        (1.0 - self.alpha) * self.current[t] + self.alpha * observed
+                    } else {
+                        // Warm start: the first measurement supersedes the
+                        // microbenchmark prior at full weight.
+                        self.seen[t] = true;
+                        observed
+                    };
+                }
             }
             self.pending_bytes[t] = 0.0;
             self.pending_secs[t] = 0.0;
+            self.pending_ops[t] = 0.0;
+            self.pending_retries[t] = 0.0;
         }
     }
 
@@ -198,10 +282,15 @@ mod tests {
     #[test]
     fn estimator_tracks_observed_drop() {
         let mut est = BandwidthEstimator::new(vec![5.3e9, 3.6e9], 0.5);
-        // PFS under external load delivers only 1.8 GB/s this iteration.
-        est.record(1, 18_000_000_000, 10.0);
+        // Warm start: the first measurement supersedes the prior outright.
+        est.record(1, 36_000_000_000, 10.0);
         est.end_iteration();
         assert_eq!(est.estimates()[0], 5.3e9, "no observation → unchanged");
+        assert_eq!(est.estimates()[1], 3.6e9, "first observation snaps");
+        // PFS under external load delivers only 1.8 GB/s this iteration;
+        // now the EMA damps the swing.
+        est.record(1, 18_000_000_000, 10.0);
+        est.end_iteration();
         let pfs = est.estimates()[1];
         assert!((2.6e9..2.8e9).contains(&pfs), "EMA midpoint, got {pfs}");
     }
@@ -215,6 +304,54 @@ mod tests {
         est.end_iteration();
         let after = allocate_counts(100, est.estimates());
         assert!(after[0] > 80, "fast tier absorbs load: {after:?}");
+    }
+
+    #[test]
+    fn record_out_of_range_is_ignored_and_counted() {
+        // Regression (PR 7): an out-of-range tier index used to panic via
+        // unchecked `pending_bytes[tier]` on the I/O completion path.
+        let mut est = BandwidthEstimator::new(vec![5.3e9, 3.6e9], 0.5);
+        let counter = Counter::detached();
+        est.attach_dropped_counter(counter.clone());
+        est.record(7, 1_000_000, 1.0); // out of range: ignored, counted
+        est.record_retries(7, 3);
+        est.record(1, 18_000_000_000, 10.0);
+        est.end_iteration();
+        assert_eq!(est.dropped_observations(), 2);
+        assert_eq!(counter.get(), 2);
+        // The in-range observation still lands; estimates have no entry
+        // for the bogus tier and tier 0 is untouched.
+        assert_eq!(est.estimates().len(), 2);
+        assert_eq!(est.estimates()[0], 5.3e9);
+        assert!(est.estimates()[1] < 3.6e9);
+    }
+
+    #[test]
+    fn retry_rate_discounts_observed_bandwidth() {
+        let clean = {
+            let mut est = BandwidthEstimator::new(vec![4.0e9], 1.0);
+            est.record(0, 4_000_000_000, 1.0);
+            est.end_iteration();
+            est.estimates()[0]
+        };
+        let flaky = {
+            let mut est = BandwidthEstimator::new(vec![4.0e9], 1.0);
+            est.record(0, 4_000_000_000, 1.0); // same throughput...
+            est.record_retries(0, 1); // ...but half the attempts failed
+            est.end_iteration();
+            est.estimates()[0]
+        };
+        assert_eq!(clean, 4.0e9);
+        assert_eq!(flaky, 2.0e9, "1 op + 1 retry → ops/(ops+retries) = 1/2");
+    }
+
+    #[test]
+    fn remainder_ties_break_toward_lower_tier_index() {
+        // 3 subgroups over two equal tiers: exact shares 1.5 / 1.5; the
+        // single leftover must deterministically land on tier 0.
+        assert_eq!(allocate_counts(3, &[1.0, 1.0]), vec![2, 1]);
+        // Four-way tie, two leftovers: lowest two indices win.
+        assert_eq!(allocate_counts(6, &[1.0, 1.0, 1.0, 1.0]), vec![2, 2, 1, 1]);
     }
 
     #[test]
@@ -247,6 +384,40 @@ mod tests {
                 let exact = m as f64 * b / total;
                 prop_assert!((*c as f64 - exact).abs() <= 1.0 + 1e-9,
                     "count {c} vs exact {exact}");
+            }
+        }
+
+        #[test]
+        fn counts_are_stable_across_runs(
+            m in 0usize..500,
+            bw in proptest::collection::vec(0.1f64..100.0, 1..6),
+        ) {
+            // Largest-remainder rounding is a pure deterministic function
+            // of its inputs — including under exact remainder ties.
+            prop_assert_eq!(allocate_counts(m, &bw), allocate_counts(m, &bw));
+        }
+
+        #[test]
+        fn counts_are_monotone_in_bandwidth(
+            m in 0usize..500,
+            bw in proptest::collection::vec(0.1f64..100.0, 2..6),
+        ) {
+            // A strictly faster tier never receives fewer subgroups than a
+            // slower one (with index as the documented tie-break).
+            let counts = allocate_counts(m, &bw);
+            for i in 0..bw.len() {
+                for j in 0..bw.len() {
+                    if bw[i] > bw[j] {
+                        prop_assert!(
+                            counts[i] + 1 >= counts[j],
+                            "bw {} > {} but counts {} < {} - 1",
+                            bw[i], bw[j], counts[i], counts[j]
+                        );
+                        if bw[i] / bw[j] > 1.0 + 1e-9 {
+                            prop_assert!(counts[i] >= counts[j]);
+                        }
+                    }
+                }
             }
         }
 

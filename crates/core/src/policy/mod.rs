@@ -1,9 +1,11 @@
 //! Pure decision logic shared by the simulated and functional engines:
 //! where each subgroup lives ([`allocation`]), in what order subgroups are
-//! updated ([`ordering`]), and which stay cached in host memory
-//! ([`cache`]). Keeping these pure makes the contribution directly
+//! updated ([`ordering`]), which stay cached in host memory ([`cache`]),
+//! and how the plan adapts to observed bandwidth mid-training
+//! ([`replan`]). Keeping these pure makes the contribution directly
 //! property-testable, independent of any execution substrate.
 
 pub mod allocation;
 pub mod cache;
 pub mod ordering;
+pub mod replan;

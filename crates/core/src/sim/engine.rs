@@ -27,8 +27,9 @@ use mlp_sim::sync::{MutexGuard, Notify, SemGuard, Semaphore};
 use mlp_trace::{Attrs, Phase};
 
 use crate::config::EngineConfig;
-use crate::policy::allocation::{allocate_counts, assign_subgroups, BandwidthEstimator};
+use crate::policy::allocation::{allocate_counts, assign_subgroups};
 use crate::policy::cache::FramePlan;
+use crate::policy::replan::AdaptivePlanner;
 use crate::sim::env::NodeSimEnv;
 use crate::stats::{BackwardStats, IoEvent, IoKind, TierDistribution, UpdateStats};
 
@@ -64,7 +65,7 @@ struct WorkerState {
     /// alongside it (baseline gradient path).
     grads_on_tier: Vec<bool>,
     iter: u64,
-    estimator: BandwidthEstimator,
+    planner: AdaptivePlanner,
     /// Flushes left in flight by a deferred-drain update phase, settled
     /// at the start of the next one (or by [`SimWorker::drain_flushes`]).
     pending_flushes: Vec<mlp_sim::JoinHandle<()>>,
@@ -122,9 +123,15 @@ impl SimWorker {
         for (sub, &t) in subgroups.iter().zip(&assignment) {
             env.tiers[t].account(sub.state_bytes());
         }
-        // §3.3: after each iteration B_i is replaced by the average
-        // observed transfer bandwidth (alpha = 1).
-        let estimator = BandwidthEstimator::new(env.model_bandwidths(), 1.0);
+        // §3.3: after each iteration the observed transfer bandwidths are
+        // EMA-folded into B_i (alpha from config; 0.5 by default so a
+        // one-iteration blip does not erase the accumulated estimate).
+        let mut planner = AdaptivePlanner::new(
+            env.model_bandwidths(),
+            cfg.bandwidth_alpha,
+            cfg.max_migrations_per_iter,
+        );
+        planner.attach_trace(&cfg.trace);
         let frames = Semaphore::new(&env.sim, plan.total_frames);
         SimWorker {
             inner: Rc::new(Inner {
@@ -134,7 +141,7 @@ impl SimWorker {
                     retained: Vec::new(),
                     grads_on_tier: vec![false; m],
                     iter: 0,
-                    estimator,
+                    planner,
                     pending_flushes: Vec::new(),
                 }),
                 env,
@@ -181,7 +188,17 @@ impl SimWorker {
 
     /// Current adaptive bandwidth estimates (§3.3).
     pub fn bandwidth_estimates(&self) -> Vec<f64> {
-        self.inner.state.borrow().estimator.estimates().to_vec()
+        self.inner.state.borrow().planner.estimates().to_vec()
+    }
+
+    /// Re-plans completed by the adaptive planner (estimator folds).
+    pub fn planner_replans(&self) -> u64 {
+        self.inner.state.borrow().planner.replans()
+    }
+
+    /// Durable-copy migrations executed so far.
+    pub fn planner_migrations(&self) -> u64 {
+        self.inner.state.borrow().planner.migrations_planned()
     }
 
     fn allocation_weights(&self) -> Vec<f64> {
@@ -189,7 +206,7 @@ impl SimWorker {
             .cfg
             .tier_ratio
             .clone()
-            .unwrap_or_else(|| self.inner.state.borrow().estimator.estimates().to_vec())
+            .unwrap_or_else(|| self.inner.state.borrow().planner.estimates().to_vec())
     }
 
     async fn maybe_lock(&self, tier: usize) -> Option<MutexGuard> {
@@ -384,7 +401,7 @@ impl SimWorker {
                         let mut st = this.inner.state.borrow_mut();
                         st.grads_on_tier[idx] = false;
                         st.placement[idx] = Placement::Host;
-                        st.estimator.record(tier, bytes, end - start);
+                        st.planner.record(tier, bytes, end - start);
                     }
                     {
                         let mut s = stats.borrow_mut();
@@ -494,7 +511,7 @@ impl SimWorker {
                         this.inner.env.tiers[tier].write(fsub.state_bytes()).await;
                         let end = sim.now_secs();
                         drop(lock);
-                        this.inner.state.borrow_mut().estimator.record(
+                        this.inner.state.borrow_mut().planner.record(
                             tier,
                             fsub.state_bytes(),
                             end - start,
@@ -564,9 +581,12 @@ impl SimWorker {
             let mut st = self.inner.state.borrow_mut();
             stats.borrow_mut().retained = st.retained.len();
             if self.inner.cfg.adaptive_bandwidth {
-                st.estimator.end_iteration();
+                st.planner.end_iteration();
             }
             st.iter += 1;
+        }
+        if self.inner.cfg.adaptive_bandwidth && self.inner.cfg.max_migrations_per_iter > 0 {
+            self.run_migrations(&stats).await;
         }
 
         let mut out = Rc::try_unwrap(stats)
@@ -588,6 +608,96 @@ impl SimWorker {
                 );
         }
         out
+    }
+
+    /// Executes the planner's bounded migration plan at the iteration
+    /// boundary: for each step, read the durable copy from its source
+    /// tier, write it to the destination, then release the source
+    /// capacity — the copy exists somewhere durable at every instant.
+    ///
+    /// Only tier-resident subgroups with no in-flight eviction flush are
+    /// candidates (deferred-drain flushes settle at the *next* update's
+    /// start), so host-retained residents — and with them the Alternating
+    /// cache-hit sequence — are untouched.
+    async fn run_migrations(&self, stats: &Rc<RefCell<UpdateStats>>) {
+        let sim = self.inner.env.sim.clone();
+        let steps = {
+            let mut st = self.inner.state.borrow_mut();
+            let flushing: Vec<usize> = st.flushing.keys().copied().collect();
+            let placements: Vec<Option<usize>> = st
+                .placement
+                .iter()
+                .enumerate()
+                .map(|(i, p)| match p {
+                    Placement::Tier(t) if !flushing.contains(&i) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            st.planner.plan_migrations(&placements)
+        };
+        if self.inner.cfg.trace.is_enabled() {
+            self.inner.cfg.trace.instant(
+                Phase::Replan,
+                Attrs {
+                    tid: self.inner.worker_id as u32,
+                    bytes: steps.len() as u64,
+                    ..Attrs::NONE
+                },
+                vns(sim.now_secs()),
+            );
+        }
+        for step in steps {
+            let sub = self.inner.subgroups[step.subgroup];
+            let bytes = sub.state_bytes();
+            let mstart = sim.now_secs();
+            {
+                let lock = self.maybe_lock(step.from).await;
+                let start = sim.now_secs();
+                self.inner.env.tiers[step.from].read(bytes).await;
+                let secs = sim.now_secs() - start;
+                drop(lock);
+                self.inner
+                    .state
+                    .borrow_mut()
+                    .planner
+                    .record(step.from, bytes, secs);
+            }
+            {
+                let lock = self.maybe_lock(step.to).await;
+                let start = sim.now_secs();
+                self.inner.env.tiers[step.to].write(bytes).await;
+                let secs = sim.now_secs() - start;
+                drop(lock);
+                self.inner
+                    .state
+                    .borrow_mut()
+                    .planner
+                    .record(step.to, bytes, secs);
+            }
+            // Destination accounted by `write`; source released only now
+            // that the new durable copy exists.
+            self.inner.env.tiers[step.from].release(bytes);
+            self.inner.state.borrow_mut().placement[step.subgroup] = Placement::Tier(step.to);
+            {
+                let mut s = stats.borrow_mut();
+                s.migrations += 1;
+                s.bytes_migrated += bytes;
+            }
+            if self.inner.cfg.trace.is_enabled() {
+                self.inner.cfg.trace.complete_span(
+                    Phase::Migrate,
+                    Attrs {
+                        tid: self.inner.worker_id as u32,
+                        tier: step.to as i32,
+                        subgroup: step.subgroup as i64,
+                        bytes,
+                        ..Attrs::NONE
+                    },
+                    vns(mstart),
+                    vns(sim.now_secs()),
+                );
+            }
+        }
     }
 
     /// Awaits every flush deferred by a previous update phase. A no-op
@@ -812,6 +922,124 @@ mod tests {
         assert!(
             after < before * 0.8,
             "estimate must drop: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_blip_does_not_swing_estimate_to_raw_observation() {
+        // Regression (PR 7): the engine used to hard-code alpha = 1.0,
+        // so a single-iteration bandwidth blip replaced the estimate with
+        // the raw observation instead of blending it.
+        let sim = Sim::new();
+        let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme(), testbed1_pfs()]));
+        let mut cfg = EngineConfig::mlp_offload();
+        cfg.cache_retention = false;
+        assert_eq!(cfg.bandwidth_alpha, 0.5, "default EMA weight");
+        let w = SimWorker::new(env.clone(), 0, cfg, subgroups(20, 100_000_000));
+        run_update_once(&w, &sim);
+        let settled = w.bandwidth_estimates()[1];
+        env.tiers[1].set_load_factor(0.25); // one-iteration blip
+        run_update_once(&w, &sim);
+        env.tiers[1].set_load_factor(1.0);
+        let after_blip = w.bandwidth_estimates()[1];
+        assert!(
+            after_blip > settled * 0.5,
+            "alpha 0.5 must keep half the history: {settled} -> {after_blip}"
+        );
+        assert!(
+            after_blip < settled * 0.9,
+            "the blip must still register: {settled} -> {after_blip}"
+        );
+    }
+
+    #[test]
+    fn migrations_are_bounded_and_preserve_the_cache_hit_sequence() {
+        // Twin runs differing only in the migration budget: the planner
+        // only ever moves tier-resident durable copies, so the retained
+        // set — and with it the Alternating hit sequence — is identical,
+        // while per-iteration migrations never exceed the budget.
+        let run = |budget: usize| {
+            let sim = Sim::new();
+            let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme(), testbed1_pfs()]));
+            let mut cfg = EngineConfig::mlp_offload().with_host_frames(7);
+            cfg.max_migrations_per_iter = budget;
+            let w = SimWorker::new(env.clone(), 0, cfg, subgroups(12, 50_000_000));
+            let mut hits = Vec::new();
+            let mut migrations = Vec::new();
+            for i in 0..5 {
+                if i == 2 {
+                    env.tiers[1].set_load_factor(0.2);
+                }
+                let s = run_update_once(&w, &sim);
+                hits.push(s.cache_hits);
+                migrations.push(s.migrations);
+                assert_eq!(s.bytes_migrated, s.migrations as u64 * 50_000_000 * 12);
+            }
+            (hits, migrations, w.planner_migrations())
+        };
+        let (hits0, mig0, total0) = run(0);
+        let (hits3, mig3, total3) = run(3);
+        assert_eq!(hits0, hits3, "migration must not disturb cache hits");
+        assert_eq!(total0, 0);
+        assert!(mig0.iter().all(|&m| m == 0));
+        assert!(mig3.iter().all(|&m| m <= 3), "budget exceeded: {mig3:?}");
+        assert!(total3 > 0, "degradation must trigger migrations");
+        assert_eq!(total3, mig3.iter().sum::<usize>() as u64);
+    }
+
+    /// The ROADMAP acceptance scenario: a tier's bandwidth collapses
+    /// mid-run; the adaptive planner must recover ≥90% of the iteration
+    /// time an oracle re-plan achieves, where the static planner stays
+    /// degraded. (The committed BENCH_adaptive_replan.json tracks the
+    /// same scenario at benchmark scale.)
+    #[test]
+    fn adaptive_planner_recovers_oracle_iteration_time_after_degradation() {
+        const DEGRADE_AT: usize = 4;
+        const ITERS: usize = 14;
+        const TAIL: usize = 6;
+        let run = |cfg: EngineConfig| {
+            let sim = Sim::new();
+            let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme(), testbed1_pfs()]));
+            let w = SimWorker::new(env.clone(), 0, cfg, subgroups(12, 50_000_000));
+            let mut durs = Vec::new();
+            for i in 0..ITERS {
+                if i == DEGRADE_AT {
+                    env.tiers[1].set_load_factor(0.15);
+                }
+                durs.push(run_update_once(&w, &sim).duration_s);
+            }
+            durs[ITERS - TAIL..].iter().sum::<f64>() / TAIL as f64
+        };
+
+        let mut static_cfg = EngineConfig::mlp_offload();
+        static_cfg.cache_retention = false;
+        static_cfg.adaptive_bandwidth = false;
+
+        let mut adaptive_cfg = EngineConfig::mlp_offload();
+        adaptive_cfg.cache_retention = false;
+        adaptive_cfg.max_migrations_per_iter = 4;
+
+        // The oracle knows the post-degradation bandwidths a priori and
+        // plans the Eq. 1 split for them from the start.
+        let mut oracle_cfg = EngineConfig::mlp_offload();
+        oracle_cfg.cache_retention = false;
+        oracle_cfg.adaptive_bandwidth = false;
+        oracle_cfg.tier_ratio = Some(vec![5.3e9, 3.6e9 * 0.15]);
+
+        let static_s = run(static_cfg);
+        let adaptive_s = run(adaptive_cfg);
+        let oracle_s = run(oracle_cfg);
+        assert!(
+            static_s > oracle_s * 1.5,
+            "static must lose badly for the scenario to mean anything: \
+             static {static_s:.2}s oracle {oracle_s:.2}s"
+        );
+        let recovery = (static_s - adaptive_s) / (static_s - oracle_s);
+        assert!(
+            recovery >= 0.9,
+            "adaptive planner recovered only {:.0}% of the oracle's win \
+             (static {static_s:.2}s adaptive {adaptive_s:.2}s oracle {oracle_s:.2}s)",
+            recovery * 100.0
         );
     }
 

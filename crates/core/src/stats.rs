@@ -46,6 +46,16 @@ pub struct UpdateStats {
     pub duration_s: f64,
     /// Subgroups served from the host cache (no fetch).
     pub cache_hits: usize,
+    /// Durable copies the adaptive planner moved between tiers at this
+    /// iteration's boundary (0 unless `max_migrations_per_iter` > 0).
+    #[serde(default)]
+    pub migrations: usize,
+    /// Bytes moved by those migrations (read from the source tier plus an
+    /// equal write to the destination; this field counts the payload once
+    /// and is *not* included in `bytes_read_by_tier`/`bytes_written_by_tier`,
+    /// which track the fetch/flush pipeline only).
+    #[serde(default)]
+    pub bytes_migrated: u64,
     /// Subgroups fetched from storage.
     pub fetches: usize,
     /// Subgroups flushed to storage.

@@ -63,6 +63,15 @@ pub enum Phase {
     TierRead,
     /// A raw storage-backend write (`TracedBackend` decorator).
     TierWrite,
+    /// An adaptive-planner re-plan decision (instant): the estimator fold
+    /// that produces the next iteration's tier split. `bytes` carries the
+    /// number of migration steps the decision scheduled.
+    Replan,
+    /// One durable-copy migration between tiers (span): read from the
+    /// source tier, write to the destination, delete the source copy.
+    /// `tier` is the destination; the source is recoverable from the
+    /// paired `AioRead`/`AioDelete` events.
+    Migrate,
 }
 
 /// All phases, in a fixed order (used by exporters and tests).
@@ -86,6 +95,8 @@ pub const ALL_PHASES: &[Phase] = &[
     Phase::PoolRelease,
     Phase::TierRead,
     Phase::TierWrite,
+    Phase::Replan,
+    Phase::Migrate,
 ];
 
 impl Phase {
@@ -111,6 +122,8 @@ impl Phase {
             Phase::PoolRelease => "pool_release",
             Phase::TierRead => "tier_read",
             Phase::TierWrite => "tier_write",
+            Phase::Replan => "replan",
+            Phase::Migrate => "migrate",
         }
     }
 

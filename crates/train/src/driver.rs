@@ -81,6 +81,22 @@ impl TrainSetup {
     pub fn world_size(&self) -> usize {
         self.nodes * self.testbed.gpus_per_node
     }
+
+    /// Enables closed-loop adaptive re-planning on every worker: flush
+    /// writes re-split on the live bandwidth estimates and up to
+    /// `max_migrations_per_iter` durable subgroup copies migrate between
+    /// tiers at each iteration boundary (§3.3 feedback loop).
+    pub fn with_adaptive_replan(mut self, max_migrations_per_iter: usize) -> Self {
+        self.engine_cfg = self.engine_cfg.with_adaptive_replan(max_migrations_per_iter);
+        self
+    }
+
+    /// Sets the EMA smoothing factor for the bandwidth estimator
+    /// (1.0 = trust the latest observation, 0.0 = never update).
+    pub fn with_bandwidth_alpha(mut self, alpha: f64) -> Self {
+        self.engine_cfg.bandwidth_alpha = alpha;
+        self
+    }
 }
 
 /// Everything measured in one simulated iteration (node-level).
@@ -264,6 +280,8 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 update.params_updated += s.params_updated;
                 update.read_secs_sum += s.read_secs_sum;
                 update.write_secs_sum += s.write_secs_sum;
+                update.migrations += s.migrations;
+                update.bytes_migrated += s.bytes_migrated;
                 for (a, b) in update
                     .bytes_read_by_tier
                     .iter_mut()
@@ -429,6 +447,40 @@ mod tests {
         assert!((20.0..45.0).contains(&s.backward_s), "bwd {}", s.backward_s);
         assert!((170.0..260.0).contains(&s.update_s), "upd {}", s.update_s);
         assert!((200.0..300.0).contains(&s.total_s), "total {}", s.total_s);
+    }
+
+    #[test]
+    fn adaptive_replan_migrations_surface_in_node_level_stats() {
+        // Four workers contend for the shared PFS, so the live estimates
+        // drift from the construction-time Table-1 weights and the
+        // planner migrates some durable copies. The migrations must show
+        // up in the merged node-level stats, stay within the per-worker
+        // budget, account their bytes exactly, and leave the cache-hit
+        // sequence identical to the plain setup (the alternating-order
+        // guarantee).
+        let tb = testbed1();
+        let budget = 4;
+        let plain = quick_setup(
+            EngineConfig::mlp_offload(),
+            vec![tb.nvme.clone(), tb.pfs.clone()],
+        );
+        let adaptive = quick_setup(
+            EngineConfig::mlp_offload(),
+            vec![tb.nvme.clone(), tb.pfs.clone()],
+        )
+        .with_adaptive_replan(budget)
+        .with_bandwidth_alpha(0.5);
+        let workers = adaptive.world_size();
+        let sub_bytes = adaptive.subgroup_params * 12;
+        let mut total = 0;
+        for (a, b) in run(&plain).iter().zip(&run(&adaptive)) {
+            assert_eq!(a.update.cache_hits, b.update.cache_hits);
+            assert_eq!(a.update.flushes, b.update.flushes);
+            assert!(b.update.migrations <= budget * workers);
+            assert_eq!(b.update.bytes_migrated, b.update.migrations as u64 * sub_bytes);
+            total += b.update.migrations;
+        }
+        assert!(total > 0, "contention must trigger at least one migration");
     }
 
     #[test]

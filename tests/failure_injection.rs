@@ -313,6 +313,88 @@ fn transient_faults_are_invisible_to_training_on_every_engine() {
 }
 
 #[test]
+fn migration_under_transient_faults_stays_bit_identical() {
+    // Adaptive re-planning with live durable-copy migration, concurrent
+    // with 20% seeded transient faults on both tiers: the retry layer
+    // absorbs the faults, the planner migrates subgroups between tiers at
+    // iteration boundaries, and the whole run stays bit-identical to a
+    // fault-free static-plan twin.
+    let adam = AdamConfig::default();
+    let base = EngineConfig::mlp_offload().with_host_frames(4);
+
+    let clean_tiers = vec![
+        SharedTier::new(Arc::new(MemBackend::new("a")) as Arc<dyn Backend>, 2.0),
+        SharedTier::new(Arc::new(MemBackend::new("b")) as Arc<dyn Backend>, 1.0),
+    ];
+    let mut want =
+        MlpFuncEngine::new(base.clone(), adam, &clean_tiers, 0, states(10, 16)).unwrap();
+
+    let injectors: Vec<Arc<FaultInjectBackend>> = [("a", 11u64), ("b", 53u64)]
+        .iter()
+        .map(|(name, seed)| {
+            Arc::new(FaultInjectBackend::new(
+                Arc::new(MemBackend::new(*name)) as Arc<dyn Backend>,
+                FaultConfig::transient(*seed, 0.2),
+            ))
+        })
+        .collect();
+    // Deliberately mis-weighted (8:1 over equally fast backends) so the
+    // live bandwidth estimates pull the split toward 1:1 and the planner
+    // must migrate durable copies off the over-loaded tier.
+    let faulty_tiers: Vec<SharedTier> = injectors
+        .iter()
+        .zip([8.0, 1.0])
+        .map(|(inject, bw)| {
+            SharedTier::new(Arc::clone(inject) as Arc<dyn Backend>, bw).with_aio(AioConfig {
+                retry: test_retry(8),
+                ..AioConfig::default()
+            })
+        })
+        .collect();
+    let mut engine = MlpFuncEngine::new(
+        base.with_adaptive_replan(3),
+        adam,
+        &faulty_tiers,
+        0,
+        states(10, 16),
+    )
+    .unwrap();
+
+    for it in 0..6 {
+        let g = grads(10, 16);
+        want.accumulate_gradients(&g);
+        engine.accumulate_gradients(&g);
+        let w = want.update().unwrap();
+        let o = engine.update().unwrap();
+        assert_eq!(
+            o.cache_hits, w.cache_hits,
+            "iteration {it}: migration broke the cache-hit guarantee"
+        );
+        assert_eq!(o.fp16_params, w.fp16_params, "iteration {it} diverged");
+    }
+    assert_eq!(
+        engine.master_params().unwrap(),
+        want.master_params().unwrap()
+    );
+
+    // All three mechanisms really exercised: faults fired, retries moved,
+    // and migrations executed while the injection was armed.
+    let fired: u64 = injectors.iter().map(|i| i.counts().transient).sum();
+    assert!(fired > 0, "injection must have fired");
+    assert!(engine.io_retries() > 0, "retries must have been recorded");
+    assert!(
+        engine.migrations_done() > 0,
+        "mis-weighted tiers must trigger migration"
+    );
+    assert!(engine.planner_replans() >= 6, "planner never folded");
+    // Nothing leaked from the staging pool relative to the clean twin.
+    assert_eq!(
+        engine.state_pool_outstanding(),
+        want.state_pool_outstanding()
+    );
+}
+
+#[test]
 fn permanent_fault_on_one_tier_surfaces_typed_and_engine_redrives() {
     // One healthy tier, one that goes permanently dead mid-run: `update`
     // must return a typed permanent error without hanging or leaking, and
