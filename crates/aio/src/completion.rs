@@ -41,6 +41,7 @@ impl<T> CompletionSlot<T> {
     /// wins: a second one is dropped, so an unwind-path poisoner racing a
     /// late success cannot overwrite the result a waiter is about to
     /// consume. Returns whether this call was the winning publication.
+    // lint:hot-root — completion hand-off, runs on every worker thread
     pub fn publish(&self, value: T) -> bool {
         let mut guard = self.value.lock();
         if guard.is_some() {
@@ -57,6 +58,7 @@ impl<T> CompletionSlot<T> {
     /// caller gets the value; concurrent callers after it keep waiting —
     /// the engine hands each `OpHandle` to a single waiter by move, so
     /// that cannot arise there.
+    // lint:hot-root — completion hand-off, runs on every waiter thread
     pub fn take_blocking(&self) -> T {
         let mut guard = self.value.lock();
         loop {
@@ -120,6 +122,7 @@ impl PendingGauge {
     }
 
     /// Blocks until the count reaches zero.
+    // lint:hot-root — completion barrier behind `AioEngine::drain`
     pub fn drain(&self) {
         let mut pending = self.pending.lock();
         while *pending > 0 {

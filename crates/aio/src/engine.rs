@@ -435,6 +435,7 @@ impl TraceMeters {
 /// buffers return to
 /// their pool on every path: success (write) / handed back (read), error
 /// (dropped here), and panic (dropped during unwind).
+// lint:hot-root — retry/execute loop every AIO worker runs per op
 pub(crate) fn execute_op(
     backend: &dyn Backend,
     retry: &RetryPolicy,
@@ -468,6 +469,7 @@ pub(crate) fn execute_op(
         }
         OpKind::WritePooled(buf, len) => {
             match retry.run(op_retries, || {
+                // lint:allow(transitive-panic): window in-bounds — submit_write_pooled asserts len <= buffer
                 backend.write(key, &buf.buffer().as_bytes()[..len])
             }) {
                 Ok(()) => {
@@ -503,6 +505,7 @@ pub(crate) fn execute_op(
             // left in the window; on error the buffer drops here and
             // recycles to its pool.
             let n = retry.run(op_retries, || {
+                // lint:allow(transitive-panic): window in-bounds — submit_read_pooled asserts len <= buffer
                 backend.read_into(key, &mut buf.buffer_mut().as_bytes_mut()[..len])
             })?;
             // Release: paired with the Acquire in OpHandle::bytes.
@@ -554,6 +557,7 @@ impl AioEngine {
         }
     }
 
+    // lint:hot-root — common submit path under every public submit_* entry
     fn submit(&self, key: &str, kind: OpKind) -> OpHandle {
         self.shared.stats.pending.inc();
         if self.shared.trace.is_enabled() {
@@ -688,6 +692,7 @@ impl AioEngine {
     /// Blocks until every submitted operation has completed — a
     /// completion barrier like `io_getevents` draining the whole queue.
     /// Parked on a condvar, so draining a slow tier does not burn a core.
+    // lint:hot-root — completion barrier on the iteration critical path
     pub fn drain(&self) {
         self.shared.stats.pending.drain();
     }

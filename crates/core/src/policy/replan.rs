@@ -127,6 +127,7 @@ impl AdaptivePlanner {
 
     /// Records one observed transfer against `tier` (see
     /// [`BandwidthEstimator::record`]).
+    // lint:hot-root — fed from I/O completion paths every transfer
     pub fn record(&mut self, tier: usize, bytes: u64, secs: f64) {
         self.estimator.record(tier, bytes, secs);
     }

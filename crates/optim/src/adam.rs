@@ -76,6 +76,8 @@ pub(crate) fn adam_elem(
 /// # Panics
 ///
 /// Panics on length mismatch or `step == 0`.
+// lint:allow(transitive-panic): element loop bounded by params.len();
+// equal slice lengths asserted on entry (the documented contract)
 pub fn adam_step(
     cfg: &AdamConfig,
     step: u64,

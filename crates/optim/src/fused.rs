@@ -34,6 +34,9 @@ const TILE: usize = 512;
 
 /// Fused kernel over one rayon chunk: FP16-bits gradients, strip-mined
 /// into [`TILE`]-element sub-ranges.
+// lint:allow(transitive-panic): tile ranges are min-clamped to
+// params.len() and all slice lengths are asserted equal by check_lens
+// at the public entry
 fn fused_chunk_fp16(
     opt: &OptimizerConfig,
     step: u64,
@@ -65,6 +68,9 @@ fn fused_chunk_fp16(
 /// Fused kernel over one rayon chunk: FP32 gradients (the ZeRO-3
 /// baseline's eager-conversion data path), strip-mined like
 /// [`fused_chunk_fp16`].
+// lint:allow(transitive-panic): tile ranges are min-clamped to
+// params.len() and all slice lengths are asserted equal by check_lens
+// at the public entry
 fn fused_chunk_f32(
     opt: &OptimizerConfig,
     step: u64,
@@ -111,6 +117,7 @@ fn check_lens(params: usize, slot1: usize, slot2: usize, grads: usize, out: usiz
 /// # Panics
 ///
 /// Panics on any length mismatch or `step == 0`.
+// lint:hot-root — fused optimizer kernel, per-subgroup update sweep
 pub fn fused_update_fp16(
     opt: &OptimizerConfig,
     step: u64,
@@ -152,6 +159,7 @@ pub fn fused_update_fp16(
 /// # Panics
 ///
 /// Panics on any length mismatch or `step == 0`.
+// lint:hot-root — fused optimizer kernel, per-subgroup update sweep
 pub fn fused_update_f32(
     opt: &OptimizerConfig,
     step: u64,

@@ -46,6 +46,7 @@ pub trait Backend: Send + Sync + 'static {
                 ),
             ));
         }
+        // lint:allow(transitive-panic): in-bounds — the typed-error guard above rejects data.len() > dst.len()
         dst[..data.len()].copy_from_slice(&data);
         Ok(data.len())
     }
@@ -218,6 +219,7 @@ impl Backend for MemBackend {
             ));
         }
         Self::throttle(self.read_bps, data.len());
+        // lint:allow(transitive-panic): in-bounds — the typed-error guard above rejects data.len() > dst.len()
         dst[..data.len()].copy_from_slice(&data);
         Ok(data.len())
     }
@@ -344,6 +346,7 @@ impl Backend for DirBackend {
             ));
         }
         let len = len as usize;
+        // lint:allow(transitive-panic): in-bounds — the typed-error guard above rejects len > dst.len()
         f.read_exact(&mut dst[..len])?;
         Ok(len)
     }

@@ -380,6 +380,7 @@ impl Backend for FaultInjectBackend {
                 // a retry must fully overwrite it.
                 let data = self.inner.read(key)?;
                 let partial = (data.len() / 2).min(dst.len());
+                // lint:allow(transitive-panic): in-bounds — partial is min-clamped to both slice lengths
                 dst[..partial].copy_from_slice(&data[..partial]);
                 Err(io::Error::new(
                     io::ErrorKind::Interrupted,

@@ -39,6 +39,7 @@ static CRC_TABLE: [u32; 256] = crc_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // lint:allow(transitive-panic): index masked to the 256-entry table
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -75,6 +76,7 @@ impl Backend for ChecksummedBackend {
             ));
         }
         let trailer = framed.split_off(framed.len() - 4);
+        // lint:allow(transitive-panic): trailer is exactly 4 bytes — split_off after the length guard
         let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
         let computed = crc32(&framed);
         if stored != computed {

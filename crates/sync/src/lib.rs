@@ -30,7 +30,9 @@
 //!   lock poisoning, `Condvar::wait(&mut guard)`).
 //! * [`atomic`] — `AtomicBool`/`AtomicU32`/`AtomicU64`/`AtomicUsize` and
 //!   `Ordering`.
-//! * [`thread`] — `spawn`, `Builder`, `JoinHandle`.
+//! * [`thread`] — `spawn`, `Builder`, `JoinHandle`; plus `scope` under
+//!   the real resolution only (the model checker has no scoped threads,
+//!   so loom-checked protocols must not use it).
 //! * [`Arc`] — plain `std::sync::Arc` under both cfgs.
 
 #![deny(unsafe_code)]

@@ -33,6 +33,11 @@
 //! The module is compiled unconditionally so the checker's own test-suite
 //! runs in tier-1 CI; the facade types in the crate root only resolve to
 //! [`sync`] under `--cfg loom`.
+//!
+//! lint:allow-file(transitive-panic): the checker aborts a schedule by
+//! unwinding (`ExecAbort`) and reports user bugs by panicking with the
+//! schedule trace — panics here are the mechanism, not a hazard, and the
+//! production (`not(loom)`) facade never routes through this module.
 
 use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
@@ -191,6 +196,12 @@ struct ExecAbort;
 
 type Guard<'a> = std::sync::MutexGuard<'a, ExecState>;
 
+// lint:allow(lock-order): checker-internal scheduler lock. Every facade
+// operation under `--cfg loom` briefly takes `m` to record the step, so
+// the call graph sees `m` "inside" every user lock and (via the blocking
+// protocols it mediates) user locks "inside" `m` — a false ABBA. In
+// reality `m` is strictly innermost: it is released before any user code
+// or blocking wait runs.
 fn plock(m: &StdMutex<ExecState>) -> Guard<'_> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

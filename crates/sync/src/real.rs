@@ -13,7 +13,10 @@ pub mod atomic {
     pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 }
 
-/// Thread spawning for engine workers.
+/// Thread spawning for engine workers. `scope` is re-exported for
+/// fork/join fan-outs (the xtask linter parallelizes file analysis with
+/// it); the loom model does not provide scoped threads, so loom-checked
+/// protocols must stick to `spawn`/`JoinHandle`.
 pub mod thread {
-    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+    pub use std::thread::{scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope, ScopedJoinHandle};
 }

@@ -119,6 +119,7 @@ impl EventRing {
     pub fn pop(&self) -> Option<TraceEvent> {
         let mut pos = self.head.load(Ordering::Acquire);
         loop {
+            // lint:allow(transitive-panic): slot index masked to the power-of-two ring capacity
             let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let expected = pos.wrapping_add(1);

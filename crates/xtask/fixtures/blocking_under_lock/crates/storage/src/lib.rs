@@ -1,0 +1,16 @@
+//! Seeded fixture: file I/O issued while a facade guard is live on an
+//! engine-side path — the blocking-under-lock analysis must fire on the
+//! `std::fs::write` under `state`'s guard.
+
+use mlp_sync::Mutex;
+
+pub struct Store {
+    state: Mutex<u32>,
+}
+
+impl Store {
+    pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let g = self.state.lock();
+        std::fs::write(path, g.to_string())
+    }
+}

@@ -1,0 +1,42 @@
+//! Negative fixture: exercises every shape the four analyses look at —
+//! a hot root, nested guards, a meter registration — without violating
+//! anything. The whole tree must lint clean.
+
+use mlp_sync::Mutex;
+
+pub struct Engine {
+    order_a: Mutex<u32>,
+    order_b: Mutex<u32>,
+}
+
+impl Engine {
+    // lint:hot-root — fixture clean path
+    pub fn submit(&self) -> u32 {
+        let a = self.order_a.lock();
+        let b = self.order_b.lock();
+        saturating(*a, *b)
+    }
+
+    /// Same acquisition order as `submit`: consistent, no cycle.
+    pub fn other(&self) -> u32 {
+        let a = self.order_a.lock();
+        let b = self.order_b.lock();
+        *a + *b
+    }
+}
+
+fn saturating(a: u32, b: u32) -> u32 {
+    a.checked_add(b).unwrap_or(u32::MAX)
+}
+
+pub struct Sink;
+
+impl Sink {
+    pub fn counter(&self, _name: &str) -> u32 {
+        0
+    }
+}
+
+pub fn init(sink: &Sink) -> u32 {
+    sink.counter("fix.documented")
+}

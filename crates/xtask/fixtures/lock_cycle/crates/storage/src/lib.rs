@@ -1,0 +1,24 @@
+//! Seeded fixture: ABBA lock-order inversion. `a` acquires `l1` then
+//! `l2`; `b` acquires them in the opposite order — the global ordering
+//! graph must contain the 2-cycle and the lint must fire.
+
+use mlp_sync::Mutex;
+
+pub struct S {
+    l1: Mutex<u32>,
+    l2: Mutex<u32>,
+}
+
+impl S {
+    pub fn a(&self) -> u32 {
+        let g1 = self.l1.lock();
+        let g2 = self.l2.lock();
+        *g1 + *g2
+    }
+
+    pub fn b(&self) -> u32 {
+        let g2 = self.l2.lock();
+        let g1 = self.l1.lock();
+        *g1 + *g2
+    }
+}

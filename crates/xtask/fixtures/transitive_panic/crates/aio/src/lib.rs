@@ -1,0 +1,16 @@
+//! Seeded fixture: a panic three calls deep under an annotated hot
+//! root. The reachability analysis must report the `.unwrap()` in
+//! `stage_two` with the full `submit → stage_one → stage_two` chain.
+
+// lint:hot-root — fixture submit path
+pub fn submit(v: &[u32]) -> u32 {
+    stage_one(v)
+}
+
+fn stage_one(v: &[u32]) -> u32 {
+    stage_two(v)
+}
+
+fn stage_two(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Seeded fixture: metric-name drift in both directions. The code
+//! registers `fix.ghost`, which the fixture OBSERVABILITY.md does not
+//! document; the doc lists `fix.documented`, which nothing emits.
+
+pub struct Sink;
+
+impl Sink {
+    pub fn counter(&self, _name: &str) -> u32 {
+        0
+    }
+}
+
+pub fn init(sink: &Sink) -> u32 {
+    sink.counter("fix.ghost")
+}

@@ -15,6 +15,21 @@
 //! number of `#`s, char/byte-char literals, and the char-vs-lifetime
 //! ambiguity (`'a'` vs `&'a`). It does not attempt full tokenization —
 //! masking is all the rules need.
+//!
+//! The semantic pass ([`crate::parser`]) additionally needs the *text*
+//! of string literals (meter names like `"aio.{backend}.reads"` live
+//! there), so [`mask`] also records every string literal it blanks as a
+//! [`Literal`] with its opening position.
+
+/// One string literal captured during masking: the line/column of its
+/// opening `"` (0-based) and its raw content (escapes unprocessed,
+/// delimiters and any `r#` prefix excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    pub line: usize,
+    pub col: usize,
+    pub text: String,
+}
 
 /// Per-line views of a source file, split into channels.
 pub struct Masked {
@@ -22,6 +37,8 @@ pub struct Masked {
     pub code: Vec<String>,
     /// Comment channel: comment text only (markers kept), rest spaces.
     pub comments: Vec<String>,
+    /// Every string literal, in source order (char literals excluded).
+    pub literals: Vec<Literal>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -40,8 +57,14 @@ pub fn mask(src: &str) -> Masked {
     let chars: Vec<char> = src.chars().collect();
     let mut code = String::with_capacity(src.len());
     let mut comments = String::with_capacity(src.len());
+    let mut literals: Vec<Literal> = Vec::new();
+    // Current string literal under construction: (line, col, text).
+    let mut cur_lit: Option<(usize, usize, String)> = None;
     let mut state = State::Code;
     let mut i = 0usize;
+    // 0-based position of the *next* char to emit, for literal capture.
+    let mut line = 0usize;
+    let mut col = 0usize;
 
     // Push one source char to the right channel, a space to the other.
     // Newlines go to both so the line structures stay aligned.
@@ -49,15 +72,26 @@ pub fn mask(src: &str) -> Masked {
         (code $c:expr) => {{
             code.push($c);
             comments.push(if $c == '\n' { '\n' } else { ' ' });
+            emit!(@advance $c);
         }};
         (blank $c:expr) => {{
             let fill = if $c == '\n' { '\n' } else { ' ' };
             code.push(fill);
             comments.push(fill);
+            emit!(@advance $c);
         }};
         (comment $c:expr) => {{
             comments.push($c);
             code.push(if $c == '\n' { '\n' } else { ' ' });
+            emit!(@advance $c);
+        }};
+        (@advance $c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 0;
+            } else {
+                col += 1;
+            }
         }};
     }
 
@@ -80,19 +114,22 @@ pub fn mask(src: &str) -> Masked {
                 }
                 '"' => {
                     state = State::Str;
+                    cur_lit = Some((line, col, String::new()));
                     emit!(code '"');
                     i += 1;
                 }
                 'r' | 'b' if starts_raw_string(&chars, i) => {
                     let (hashes, consumed) = raw_string_open(&chars, i);
                     state = State::RawStr(hashes);
+                    cur_lit = Some((line, col, String::new()));
                     for k in 0..consumed {
                         emit!(code chars[i + k]);
                     }
                     i += consumed;
                 }
-                'b' if next == Some('"') => {
+                'b' if next == Some('"') && !ident_tail(&chars, i) => {
                     state = State::Str;
+                    cur_lit = Some((line, col, String::new()));
                     emit!(code 'b');
                     emit!(code '"');
                     i += 2;
@@ -151,6 +188,10 @@ pub fn mask(src: &str) -> Masked {
             State::Str => match c {
                 '\\' => {
                     // Skip the escaped char (covers \" and \\).
+                    if let Some(l) = cur_lit.as_mut() {
+                        l.2.push('\\');
+                        l.2.extend(next);
+                    }
                     emit!(blank '\\');
                     if let Some(n) = next {
                         emit!(blank n);
@@ -161,16 +202,25 @@ pub fn mask(src: &str) -> Masked {
                 }
                 '"' => {
                     state = State::Code;
+                    if let Some((ll, lc, text)) = cur_lit.take() {
+                        literals.push(Literal { line: ll, col: lc, text });
+                    }
                     emit!(code '"');
                     i += 1;
                 }
                 _ => {
+                    if let Some(l) = cur_lit.as_mut() {
+                        l.2.push(c);
+                    }
                     emit!(blank c);
                     i += 1;
                 }
             },
             State::RawStr(hashes) => {
                 if c == '"' && closes_raw(&chars, i, hashes) {
+                    if let Some((ll, lc, text)) = cur_lit.take() {
+                        literals.push(Literal { line: ll, col: lc, text });
+                    }
                     emit!(code '"');
                     for k in 0..hashes as usize {
                         emit!(code chars[i + 1 + k]);
@@ -178,6 +228,9 @@ pub fn mask(src: &str) -> Masked {
                     i += 1 + hashes as usize;
                     state = State::Code;
                 } else {
+                    if let Some(l) = cur_lit.as_mut() {
+                        l.2.push(c);
+                    }
                     emit!(blank c);
                     i += 1;
                 }
@@ -205,9 +258,16 @@ pub fn mask(src: &str) -> Masked {
         }
     }
 
+    // An unterminated literal at EOF still gets captured, so a truncated
+    // file degrades gracefully instead of losing its last literal.
+    if let Some((ll, lc, text)) = cur_lit.take() {
+        literals.push(Literal { line: ll, col: lc, text });
+    }
+
     Masked {
         code: code.lines().map(str::to_owned).collect(),
         comments: comments.lines().map(str::to_owned).collect(),
+        literals,
     }
 }
 
@@ -224,6 +284,11 @@ fn ident_tail(chars: &[char], i: usize) -> bool {
 /// Does `chars[i..]` start a raw (byte) string: `r"`, `r#"`, `br"`, ...?
 fn starts_raw_string(chars: &[char], i: usize) -> bool {
     if ident_tail(chars, i) {
+        return false;
+    }
+    // `'r` is a lifetime, so a following `"` opens a *plain* string:
+    // `f::<'r>("x")`-style code must not be read as a raw-string opener.
+    if i > 0 && chars[i - 1] == '\'' {
         return false;
     }
     let mut j = i;
@@ -370,6 +435,103 @@ mod tests {
         let m2 = mask("let c = 'x'; let esc = '\\''; keep\n");
         assert!(!m2.code[0].contains('x'));
         assert!(m2.code[0].contains("keep"));
+    }
+
+    #[test]
+    fn raw_string_edge_cases() {
+        // Multiple hashes: the closer needs the exact hash count.
+        let m = mask("let r = r##\"a \"# b unwrap()\"##; tail\n");
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.code[0].contains("tail"));
+        assert_eq!(m.literals[0].text, "a \"# b unwrap()");
+
+        // Raw *byte* strings take the same path.
+        let m2 = mask("let b = br#\"x // y\"#; after\n");
+        assert!(!m2.code[0].contains("x // y"));
+        assert!(m2.comments[0].trim().is_empty());
+        assert!(m2.code[0].contains("after"));
+
+        // An identifier ending in `r` followed by `"` is NOT a raw
+        // string: `var"` never occurs in valid Rust, but a lexer that
+        // mis-fires here would swallow the rest of the file.
+        let m3 = mask("let r = 1; for_r\"plain\"; after\n");
+        assert!(m3.code[0].contains("after"));
+
+        // A lifetime named 'r directly before a plain string must not
+        // look like a raw-string opener (`'r` + `"` != `r"`).
+        let m4 = mask("m!{'r\"one\"}; two(\"second\"); end\n");
+        assert!(m4.code[0].contains("end"));
+        assert_eq!(m4.literals.len(), 2);
+        assert_eq!(m4.literals[1].text, "second");
+
+        // Multi-line raw string: content spans lines, code resumes after.
+        let m5 = mask("let s = r#\"line1\nline2\"#;\nnext();\n");
+        assert!(!m5.code[0].contains("line1"));
+        assert!(!m5.code[1].contains("line2"));
+        assert!(m5.code[2].contains("next()"));
+        assert_eq!(m5.literals[0].text, "line1\nline2");
+    }
+
+    #[test]
+    fn nested_block_comment_edge_cases() {
+        // Three levels deep, with decoy `*/`-less openers in between.
+        let m = mask("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b\n");
+        assert!(m.code[0].contains('a'));
+        assert!(m.code[0].contains('b'));
+        assert!(!m.code[0].contains('3'));
+
+        // A `/*` inside a line comment does not open a block.
+        let m2 = mask("x(); // note: /* not a block\ny();\n");
+        assert!(m2.code[1].contains("y()"));
+
+        // A `//` inside a block comment does not extend it to line end.
+        let m3 = mask("a /* c1 // c2 */ b\n");
+        assert!(m3.code[0].contains('b'));
+
+        // Multi-line nesting: still inside after one `*/`.
+        let m4 = mask("/* outer /* inner\n*/ still comment */ code\n");
+        assert!(!m4.code[1].contains("still"));
+        assert!(m4.code[1].contains("code"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_edge_cases() {
+        // Generic params, bounds, and labels are code, not literals.
+        let m = mask("impl<'a, 'b: 'a> S<'a, 'b> { fn f(&'a self) {} }\n");
+        assert!(m.code[0].contains("'a, 'b: 'a"));
+
+        // `'a'` (char) right next to `'a` (lifetime) on one line.
+        let m2 = mask("let c: char = 'a'; let r: &'a str = s;\n");
+        assert!(!m2.code[0].contains("= 'a';"));
+        assert!(m2.code[0].contains("&'a str"));
+
+        // Escaped quote and escaped backslash chars terminate correctly.
+        let m3 = mask("let q = '\\''; let bs = '\\\\'; done\n");
+        assert!(m3.code[0].contains("done"));
+
+        // Byte chars `b'x'` vs an identifier ending in `b` before a quote.
+        let m4 = mask("let x = b'\\n'; let grab = ident_b; done\n");
+        assert!(m4.code[0].contains("done"));
+
+        // Loop labels are lifetimes syntactically: `'outer: loop`.
+        let m5 = mask("'outer: loop { break 'outer; } after\n");
+        assert!(m5.code[0].contains("'outer: loop"));
+        assert!(m5.code[0].contains("after"));
+
+        // `'_'` is a char literal; `'_` alone is the wildcard lifetime.
+        let m6 = mask("let u = '_'; fn g(x: &'_ str) {} tail\n");
+        assert!(m6.code[0].contains("&'_ str"));
+        assert!(m6.code[0].contains("tail"));
+    }
+
+    #[test]
+    fn literals_are_captured_with_positions() {
+        let m = mask("emit(\"first\");\nlet c = 'x';\nemit(\"sec\\\"ond\");\n");
+        assert_eq!(m.literals.len(), 2, "{:?}", m.literals);
+        assert_eq!(m.literals[0], Literal { line: 0, col: 5, text: "first".into() });
+        // Char literals are not captured; escapes stay raw.
+        assert_eq!(m.literals[1].line, 2);
+        assert_eq!(m.literals[1].text, "sec\\\"ond");
     }
 
     #[test]

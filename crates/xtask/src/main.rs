@@ -1,21 +1,29 @@
 //! Workspace automation. Currently one subcommand:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--root <dir>]
+//! cargo run -p xtask -- lint [--root <dir>] [--semantic] [--json]
 //! ```
 //!
 //! walks every crate's `src/` (plus the root suite package) and enforces
-//! the concurrency/safety invariants described in [`rules`]. Exits
-//! non-zero if any violation is found, so CI can gate on it.
+//! the concurrency/safety invariants described in [`xtask::rules`].
+//! `--semantic` additionally runs the workspace-wide analyses in
+//! [`xtask::semantic`] (call/lock graphs, transitive panic
+//! reachability, lock-order cycles, blocking-under-lock, metric drift).
+//! `--json` swaps the line-oriented text report for a JSON array of
+//! GitHub-annotation-compatible findings; text stays the default and
+//! byte-stable. Exits non-zero if any violation is found, so CI can
+//! gate on it.
+//!
+//! File lexing/linting/parsing fans out over `mlp_sync::thread::scope`
+//! workers; results are reassembled in file order so output is
+//! deterministic regardless of parallelism.
 
 #![deny(unsafe_code)]
 
-mod lexer;
-mod rules;
-
-use rules::{check_file, FileCtx, Violation};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::rules::{check_file, FileCtx, Violation};
+use xtask::{find_workspace_root, lint_targets, parser, rel_path, semantic};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,56 +34,171 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>] [--semantic] [--json]");
             ExitCode::from(2)
         }
     }
 }
 
+struct Options {
+    root: PathBuf,
+    semantic: bool,
+    json: bool,
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    let root = match parse_root(args) {
-        Ok(r) => r,
+    let opts = match parse_args(args) {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
 
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut files = 0usize;
-    for (path, crate_dir) in lint_targets(&root) {
-        let src = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
+    let targets = lint_targets(&opts.root);
+    let files = targets.len();
+
+    // Per-file work (read + lex + textual rules + optional parse) is
+    // embarrassingly parallel: chunk the target list round-robin over
+    // scoped workers, each writing its own pre-allocated slot so the
+    // reassembled order is the file order, independent of scheduling.
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(targets.len().max(1));
+    type FileResult = Result<(Vec<Violation>, Option<parser::ParsedFile>), String>;
+    let mut slots: Vec<Option<FileResult>> = Vec::new();
+    slots.resize_with(targets.len(), || None);
+
+    {
+        let slot_refs: Vec<&mut Option<FileResult>> = slots.iter_mut().collect();
+        let mut work: Vec<(usize, &std::path::Path, &str, &mut Option<FileResult>)> = targets
+            .iter()
+            .zip(slot_refs)
+            .enumerate()
+            .map(|(i, ((p, c), s))| (i, p.as_path(), c.as_str(), s))
+            .collect();
+        let mut chunks: Vec<Vec<_>> = Vec::new();
+        chunks.resize_with(workers, Vec::new);
+        for item in work.drain(..) {
+            let w = item.0 % workers;
+            chunks[w].push(item);
+        }
+        mlp_sync::thread::scope(|s| {
+            for chunk in chunks.drain(..) {
+                let root = &opts.root;
+                let want_parse = opts.semantic;
+                s.spawn(move || {
+                    for (_, path, crate_dir, slot) in chunk {
+                        let rel = rel_path(root, path);
+                        *slot = Some(match std::fs::read_to_string(path) {
+                            Ok(src) => {
+                                let ctx = FileCtx::from_source(&rel, crate_dir, &src);
+                                let v = check_file(&ctx);
+                                let parsed = want_parse.then(|| parser::parse(&ctx));
+                                Ok((v, parsed))
+                            }
+                            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+                        });
+                    }
+                });
             }
-        };
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        files += 1;
-        violations.extend(check_file(&FileCtx::from_source(&rel, &crate_dir, &src)));
+        });
     }
 
-    violations.sort_by(|a, b| (&a.rel_path, a.line).cmp(&(&b.rel_path, b.line)));
-    for v in &violations {
-        println!("{v}");
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
+    for slot in slots {
+        match slot.expect("every lint slot is filled by its worker") {
+            Ok((v, p)) => {
+                violations.extend(v);
+                parsed.extend(p);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.semantic {
+        let ws = semantic::Workspace::build(parsed);
+        let obs = opts.root.join("OBSERVABILITY.md");
+        let doc = std::fs::read_to_string(&obs)
+            .ok()
+            .map(|text| semantic::parse_observability(&rel_path(&opts.root, &obs), &text));
+        violations.extend(ws.analyze(doc.as_ref()));
+    }
+
+    violations.sort_by(|a, b| (&a.rel_path, a.line, a.rule).cmp(&(&b.rel_path, b.line, b.rule)));
+
+    if opts.json {
+        print!("{}", render_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        if violations.is_empty() {
+            println!("lint: {files} files clean");
+        } else {
+            println!("lint: {} violation(s) across {files} files", violations.len());
+        }
     }
     if violations.is_empty() {
-        println!("lint: {files} files clean");
         ExitCode::SUCCESS
     } else {
-        println!("lint: {} violation(s) across {files} files", violations.len());
         ExitCode::FAILURE
     }
 }
 
-fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+/// GitHub-annotation-compatible findings: one object per violation with
+/// the fields the annotation action expects (`file`, `line`,
+/// `annotation_level`, `title`, `message`).
+fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"end_line\": {}, \
+             \"annotation_level\": \"failure\", \"title\": {}, \"message\": {}}}",
+            json_str(&v.rel_path),
+            v.line,
+            v.line,
+            json_str(v.rule),
+            json_str(&v.msg)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     let mut root = None;
+    let mut semantic = false;
+    let mut json = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => {
@@ -83,68 +206,21 @@ fn parse_root(args: &[String]) -> Result<PathBuf, String> {
                     it.next().ok_or("--root requires a directory argument")?,
                 ));
             }
+            "--semantic" => semantic = true,
+            "--json" => json = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    match root {
-        Some(r) => Ok(r),
-        None => find_workspace_root()
-            .ok_or_else(|| "could not find workspace root (no Cargo.toml with [workspace]); pass --root".into()),
-    }
-}
-
-/// Walk up from the current directory to the first `Cargo.toml`
-/// containing a `[workspace]` section.
-fn find_workspace_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(dir);
-            }
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
-/// Every `.rs` file under each crate's `src/`, tagged with the crate's
-/// directory name, plus the workspace-root suite package (`src/`).
-fn lint_targets(root: &Path) -> Vec<(PathBuf, String)> {
-    let mut out = Vec::new();
-    let crates = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates) {
-        let mut dirs: Vec<PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        dirs.sort();
-        for dir in dirs {
-            let name = dir
-                .file_name()
-                .map(|f| f.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            collect_rs(&dir.join("src"), &name, &mut out);
-        }
-    }
-    collect_rs(&root.join("src"), ".", &mut out);
-    out
-}
-
-fn collect_rs(dir: &Path, crate_dir: &str, out: &mut Vec<(PathBuf, String)>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root().ok_or_else(|| {
+            "could not find workspace root (no Cargo.toml with [workspace]); pass --root"
+                .to_string()
+        })?,
     };
-    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
-    paths.sort();
-    for p in paths {
-        if p.is_dir() {
-            collect_rs(&p, crate_dir, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push((p, crate_dir.to_owned()));
-        }
-    }
+    Ok(Options {
+        root,
+        semantic,
+        json,
+    })
 }

@@ -38,7 +38,7 @@
 //!   Waivable per-site with `// lint:allow(trace-sink): <reason>` for
 //!   genuine CLI surfaces.
 
-use crate::lexer::{mask, test_regions};
+use crate::lexer::{mask, test_regions, Literal};
 
 /// Crates whose `src/` is an I/O hot path (panics are lint errors).
 pub const HOT_PATH_CRATES: &[&str] = &["aio", "storage", "tensor", "core", "zero3"];
@@ -68,6 +68,9 @@ pub struct FileCtx {
     pub comments: Vec<String>,
     /// Per-line flag: inside a `#[cfg(test)]` / `#[test]` region.
     pub in_test: Vec<bool>,
+    /// String literals with positions (the semantic pass reads meter
+    /// names out of these; the textual rules never look at them).
+    pub literals: Vec<Literal>,
 }
 
 impl FileCtx {
@@ -91,6 +94,7 @@ impl FileCtx {
             code: masked.code,
             comments: masked.comments,
             in_test,
+            literals: masked.literals,
         }
     }
 }
@@ -131,14 +135,14 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Violation> {
 /// Is line `i` (0-based) waived for `rule` by a
 /// `// lint:allow(<rule>): reason` on the same line or in the comment
 /// block directly above it?
-fn waived(ctx: &FileCtx, i: usize, rule: &str) -> bool {
+pub(crate) fn waived(ctx: &FileCtx, i: usize, rule: &str) -> bool {
     annotated(ctx, i, &format!("lint:allow({rule})"))
 }
 
 /// True if `needle` appears in the comment channel on line `i` or in
 /// the contiguous run of comment-only lines directly above it (a
 /// multi-line `//` block counts as one annotation site).
-fn annotated(ctx: &FileCtx, i: usize, needle: &str) -> bool {
+pub(crate) fn annotated(ctx: &FileCtx, i: usize, needle: &str) -> bool {
     if ctx.comments[i].contains(needle) {
         return true;
     }
@@ -162,7 +166,7 @@ fn annotated(ctx: &FileCtx, i: usize, needle: &str) -> bool {
 
 /// Find `needle` in `hay` at positions where it is not embedded in a
 /// larger identifier (char before and after must not be ident chars).
-fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
     let bytes = hay.as_bytes();
     let mut out = Vec::new();
     let mut from = 0;
@@ -179,7 +183,7 @@ fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
     out
 }
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
