@@ -1,0 +1,187 @@
+//! `checkpoint_baseline` — the asynchronous two-hop checkpoint pipeline's
+//! cost on the training critical path, written as the machine-readable
+//! baseline tracked in `BENCH_checkpoint.json`.
+//!
+//! ```text
+//! checkpoint_baseline [OUTPUT_PATH] [--check COMMITTED_PATH]
+//! ```
+//!
+//! One Testbed-1 node trains the 40B model over NVMe + PFS + object
+//! store and checkpoints every iteration, three ways:
+//!
+//! * `none` — no checkpointing: the iteration-time floor.
+//! * `sync` — the blocking baseline: flush to NVMe and trickle to the
+//!   object store complete inside the iteration, on the critical path.
+//! * `async` — the pipeline: checkpoint I/O is left in flight and
+//!   drains while the next iteration's backward pass runs (§3.3).
+//!
+//! The headline metric is the *hidden fraction*: how much of the sync
+//! variant's checkpoint overhead the asynchronous pipeline removes from
+//! the critical path. At 40B the NVMe staging tier is close to saturated
+//! by training's own deferred flush I/O during the backward window, so
+//! the pipeline can only reclaim the tier's remaining idle time; the
+//! acceptance bar is ≥ 0.15 of the blocking overhead (≈ 10 virtual
+//! seconds per iteration here), and the per-variant regression gate
+//! holds the rest of the story in place.
+//!
+//! With `--check`, freshly measured numbers are compared against the
+//! committed baseline and the run fails if any variant's mean iteration
+//! time regressed by more than 10% (virtual time is deterministic, so a
+//! real change is the only way to move them).
+
+use mlp_model::zoo;
+use mlp_offload::EngineConfig;
+use mlp_storage::spec::object_store;
+use mlp_train::driver::{run, TrainSetup};
+use mlp_train::testbed1;
+
+/// Iterations per variant.
+const ITERS: usize = 6;
+/// Warmup iterations excluded from the mean (first-touch placement).
+const WARMUP: usize = 1;
+
+struct VariantResult {
+    name: &'static str,
+    mean_iter_s: f64,
+    ckpt_copied_bytes: u64,
+}
+
+fn run_variant(name: &'static str, every: usize, sync: bool) -> VariantResult {
+    let tb = testbed1();
+    let mut cfg = EngineConfig::mlp_offload();
+    cfg.deferred_flush_drain = true;
+    // The object store is the checkpoint target only: a negligible
+    // allocation weight keeps training state on NVMe + PFS.
+    cfg.tier_ratio = Some(vec![
+        tb.nvme.model_bandwidth_bps(),
+        tb.pfs.model_bandwidth_bps(),
+        1e-6,
+    ]);
+    let tiers = vec![tb.nvme.clone(), tb.pfs.clone(), object_store()];
+    let mut setup = TrainSetup::new(tb, zoo::model_40b(), cfg, tiers).with_checkpoint_every(every);
+    setup.iterations = ITERS;
+    setup.checkpoint_sync = sync;
+    let results = run(&setup);
+    let mean_iter_s = results[WARMUP..]
+        .iter()
+        .map(|r| r.breakdown.total_s())
+        .sum::<f64>()
+        / (ITERS - WARMUP) as f64;
+    let ckpt_copied_bytes = results
+        .iter()
+        .filter_map(|r| r.checkpoint.as_ref())
+        .map(|c| c.copied_bytes)
+        .sum();
+    eprintln!("{name:>6}: {mean_iter_s:7.2} s/iter  checkpoint copies {ckpt_copied_bytes} B");
+    VariantResult {
+        name,
+        mean_iter_s,
+        ckpt_copied_bytes,
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_checkpoint.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--check" {
+            check_path = Some(it.next().expect("--check needs a baseline path"));
+        } else {
+            out_path = a;
+        }
+    }
+
+    let variants = [
+        run_variant("none", 0, false),
+        run_variant("sync", 1, true),
+        run_variant("async", 1, false),
+    ];
+    let [none, sync, async_] = &variants;
+    assert!(none.ckpt_copied_bytes == 0 && sync.ckpt_copied_bytes > 0);
+    assert_eq!(
+        sync.ckpt_copied_bytes, async_.ckpt_copied_bytes,
+        "both checkpointing variants must move identical bytes"
+    );
+    let sync_overhead = sync.mean_iter_s - none.mean_iter_s;
+    let async_overhead = async_.mean_iter_s - none.mean_iter_s;
+    assert!(
+        sync_overhead > 0.0,
+        "blocking checkpoints must cost critical-path time for the scenario to discriminate"
+    );
+    let hidden = 1.0 - async_overhead / sync_overhead;
+    eprintln!(
+        "checkpoint overhead: sync {sync_overhead:.2} s/iter, async {async_overhead:.2} s/iter \
+         ({:.0}% hidden behind backward)",
+        hidden * 100.0
+    );
+    assert!(
+        hidden >= 0.15,
+        "async pipeline hid only {:.0}% of the sync checkpoint overhead",
+        hidden * 100.0
+    );
+
+    let doc = serde_json::json!({
+        "benchmark": "checkpoint",
+        "description": "Critical-path cost of per-iteration checkpointing to NVMe + object store — mean iteration seconds without checkpoints, with blocking checkpoints, and with the asynchronous two-hop pipeline, plus the fraction of the blocking overhead the pipeline hides behind backward compute",
+        "iterations": ITERS,
+        "warmup": WARMUP,
+        "hidden_fraction": round2(hidden),
+        "results": variants.iter().map(|v| serde_json::json!({
+            "variant": v.name,
+            "mean_iter_s": round2(v.mean_iter_s),
+            "ckpt_copied_bytes": v.ckpt_copied_bytes,
+        })).collect::<Vec<_>>(),
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serializable") + "\n",
+    )
+    .expect("write baseline");
+    println!("wrote {out_path}");
+
+    if let Some(committed) = check_path {
+        let body = std::fs::read_to_string(&committed).expect("read committed baseline");
+        let old: serde_json::Value = serde_json::from_str(&body).expect("parse committed baseline");
+        let mut failures = Vec::new();
+        for v in &variants {
+            let old_mean = old["results"]
+                .as_array()
+                .expect("results array")
+                .iter()
+                .find(|r| r["variant"].as_str() == Some(v.name))
+                .and_then(|r| r["mean_iter_s"].as_f64())
+                .expect("committed mean_iter_s");
+            let ratio = v.mean_iter_s / old_mean;
+            eprintln!(
+                "check {:>6}: {:.2} s/iter vs committed {:.2} ({:+.1}%)",
+                v.name,
+                v.mean_iter_s,
+                old_mean,
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > 1.10 {
+                failures.push(format!(
+                    "{}: mean iteration time regressed {:.1}% (got {:.2}s, committed {:.2}s)",
+                    v.name,
+                    (ratio - 1.0) * 100.0,
+                    v.mean_iter_s,
+                    old_mean
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("BASELINE REGRESSION:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("baseline check passed ({committed})");
+    }
+}

@@ -19,8 +19,11 @@
 //! `--trace <out.json>` runs the 40B Fig. 5 scenario with tracing enabled
 //! for both approaches and writes a merged Chrome trace (see
 //! OBSERVABILITY.md). With no subcommand it runs only the timeline export.
+//! `--checkpoint-every N` sets the traced MLP-Offload run's asynchronous
+//! checkpoint cadence (default 1; 0 disables): checkpoint flush/trickle
+//! spans land on the same timeline, overlapping the next backward pass.
 
-use mlp_bench::timeline::{export_timeline_trace, render_timeline};
+use mlp_bench::timeline::{export_timeline_trace_every, render_timeline};
 use mlp_bench::*;
 use mlp_train::experiments as exp;
 
@@ -36,10 +39,28 @@ fn main() {
         }
         args.remove(i)
     });
+    // `--checkpoint-every N`: asynchronous two-hop checkpoint cadence for
+    // the traced MLP-Offload run (default 1, i.e. every iteration; 0
+    // disables checkpointing).
+    let checkpoint_every = args
+        .iter()
+        .position(|a| a == "--checkpoint-every")
+        .map(|i| {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--checkpoint-every requires an iteration count");
+                std::process::exit(2);
+            }
+            args.remove(i).parse().unwrap_or_else(|_| {
+                eprintln!("--checkpoint-every expects a non-negative integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
     let json = args.iter().any(|a| a == "--json");
     let explicit_cmd = args.iter().find(|a| !a.starts_with("--")).cloned();
     if let Some(path) = &trace_path {
-        match export_timeline_trace(path) {
+        match export_timeline_trace_every(path, checkpoint_every) {
             Ok(runs) => render_timeline(path, &runs),
             Err(e) => {
                 eprintln!("failed to write trace to {path}: {e}");

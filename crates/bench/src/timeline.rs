@@ -10,6 +10,7 @@
 
 use mlp_model::zoo;
 use mlp_offload::EngineConfig;
+use mlp_storage::spec::object_store;
 use mlp_trace::{chrome_trace_json_named, EventKind, IoSummary, Phase, TraceEvent, TraceSink};
 use mlp_train::driver::{run, TrainSetup};
 use mlp_train::testbed1;
@@ -27,6 +28,11 @@ pub struct TimelineRun {
     /// Virtual seconds during which state-flush spans overlap the same
     /// worker's backward spans — the Fig. 5 overlap metric.
     pub flush_backward_overlap_s: f64,
+    /// Virtual seconds during which checkpoint flush/trickle spans overlap
+    /// the same worker's backward spans — the asynchronous checkpoint
+    /// pipeline's version of the Fig. 5 overlap (0 when the run does not
+    /// checkpoint, or checkpoints synchronously).
+    pub ckpt_backward_overlap_s: f64,
 }
 
 /// Virtual seconds during which `a`-phase spans overlap `b`-phase spans
@@ -56,33 +62,53 @@ fn overlap_secs(events: &[TraceEvent], a: Phase, b: Phase) -> f64 {
 /// and writes the merged Chrome trace to `path`. Returns both runs'
 /// events and overlap metrics for rendering.
 pub fn export_timeline_trace(path: &str) -> std::io::Result<Vec<TimelineRun>> {
+    export_timeline_trace_every(path, 1)
+}
+
+/// [`export_timeline_trace`] with an explicit checkpoint cadence for the
+/// MLP-Offload run: `checkpoint_every` iterations between asynchronous
+/// two-hop checkpoints (NVMe staging → object store), 0 to disable. The
+/// baseline run never checkpoints, so the checkpoint lanes isolate the
+/// pipeline's contribution to the timeline.
+pub fn export_timeline_trace_every(
+    path: &str,
+    checkpoint_every: usize,
+) -> std::io::Result<Vec<TimelineRun>> {
     let tb = testbed1();
     let mut mlp_cfg = EngineConfig::mlp_offload();
     // Fig. 5: leave the update phase's lazy flushes in flight so they
     // drain while the next iteration's backward pass runs.
     mlp_cfg.deferred_flush_drain = true;
+    // The object store joins the tier set as a checkpoint target only: a
+    // negligible allocation weight keeps training state off it (30 ms
+    // per-op latency would distort the Fig. 5 update path), while the
+    // checkpoint pipeline trickles into it by tier kind.
+    let mlp_tiers = vec![tb.nvme.clone(), tb.pfs.clone(), object_store()];
+    mlp_cfg.tier_ratio = Some(vec![
+        tb.nvme.model_bandwidth_bps(),
+        tb.pfs.model_bandwidth_bps(),
+        1e-6,
+    ]);
     let approaches = [
         (
             "DeepSpeed ZeRO-3",
             EngineConfig::deepspeed_zero3(),
             vec![tb.nvme.clone()],
+            0,
         ),
-        (
-            "MLP-Offload",
-            mlp_cfg,
-            vec![tb.nvme.clone(), tb.pfs.clone()],
-        ),
+        ("MLP-Offload", mlp_cfg, mlp_tiers, checkpoint_every),
     ];
 
     let mut runs = Vec::new();
-    for (pid, (name, cfg, tiers)) in approaches.into_iter().enumerate() {
+    for (pid, (name, cfg, tiers, every)) in approaches.into_iter().enumerate() {
         let sink = TraceSink::enabled();
         let mut setup = TrainSetup::new(
             tb.clone(),
             zoo::model_40b(),
             cfg.with_trace(sink.clone()),
             tiers.clone(),
-        );
+        )
+        .with_checkpoint_every(every);
         setup.iterations = 2;
         run(&setup);
         let mut events = sink.events();
@@ -93,6 +119,8 @@ pub fn export_timeline_trace(path: &str) -> std::io::Result<Vec<TimelineRun>> {
             name,
             pid: pid as u32,
             flush_backward_overlap_s: overlap_secs(&events, Phase::Flush, Phase::Backward),
+            ckpt_backward_overlap_s: overlap_secs(&events, Phase::CkptFlush, Phase::Backward)
+                + overlap_secs(&events, Phase::CkptTrickle, Phase::Backward),
             tier_names: tiers.iter().map(|t| t.name.clone()).collect(),
             events,
         });
@@ -134,6 +162,12 @@ pub fn render_timeline(path: &str, runs: &[TimelineRun]) {
                 "(flush I/O serializes inside the update phase)"
             }
         );
+        if r.ckpt_backward_overlap_s > 0.0 {
+            println!(
+                "{} — checkpoint/backward overlap: {:.1} s (async flush+trickle off the critical path)",
+                r.name, r.ckpt_backward_overlap_s
+            );
+        }
         print!("{}", IoSummary::from_events(&r.events).render(&names));
     }
 }
@@ -160,6 +194,18 @@ mod tests {
         assert!(
             mlp.flush_backward_overlap_s > 0.0,
             "deferred flushes must overlap backward"
+        );
+        // The asynchronous checkpoint pipeline joins the Fig. 5 argument:
+        // its flush/trickle spans hide behind the next backward pass on
+        // the MLP run, and never appear on the non-checkpointing baseline.
+        assert!(
+            mlp.ckpt_backward_overlap_s > 0.0,
+            "async checkpoint flushes must overlap backward"
+        );
+        assert_eq!(zero3.ckpt_backward_overlap_s, 0.0);
+        assert!(
+            mlp.events.iter().any(|e| e.phase == Phase::CkptTrickle),
+            "object-store trickle must reach the timeline"
         );
         // Both runs put spans on the timeline and bytes on the tiers.
         for r in &runs {

@@ -1,12 +1,26 @@
-//! Checkpoint pre-staging accounting (§3.3).
+//! Checkpoint pre-staging accounting and the asynchronous multi-tier
+//! checkpoint pipeline (§3.3).
 //!
 //! A side benefit of multi-path offloading: subgroups that live on
 //! *persistent* tiers (NVMe, PFS, object store) at an iteration boundary
 //! are already durable, so an asynchronous multi-tier checkpointing engine
 //! (the paper cites DataStates-LLM) only needs to flush the host- and
-//! GPU-resident remainder. This module quantifies that saving.
+//! GPU-resident remainder. This module quantifies that saving
+//! ([`PrestageReport`]) and implements the engine itself
+//! ([`CheckpointPipeline`]): a two-hop *flush → trickle* pipeline that
+//! stages host-resident state on a fast durable tier, copies it to the
+//! object store in the background, and commits with a single atomic
+//! manifest PUT. The safety ordering — flush → verify → publish → prune —
+//! guarantees the previous checkpoint stays restorable until the new one
+//! is fully durable (see `DESIGN.md` §14).
 
-use mlp_storage::TierSpec;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
+use mlp_storage::{Backend, TierSpec};
+use mlp_trace::{Attrs, Counter, Phase, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::TierDistribution;
@@ -55,6 +69,80 @@ impl CheckpointManifest {
     /// Object key for a copied subgroup.
     pub fn subgroup_key(tag: &str, worker_id: usize, idx: usize) -> String {
         format!("ckpt/{tag}/w{worker_id}/sub{idx}")
+    }
+
+    /// Serializes the manifest into its stable line-based wire format
+    /// (`mlpckpt v1`). Tags and keys must not contain newlines — keys are
+    /// engine-generated and never do; tags are caller-chosen.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str("mlpckpt v1\n");
+        out.push_str(&format!("tag {}\n", self.tag));
+        out.push_str(&format!("worker {}\n", self.worker_id));
+        out.push_str(&format!("step {}\n", self.step));
+        out.push_str(&format!("iter {}\n", self.iter));
+        out.push_str(&format!("subgroups {}\n", self.subgroups.len()));
+        for loc in &self.subgroups {
+            match loc {
+                SubgroupLocation::Target { key } => out.push_str(&format!("T {key}\n")),
+                SubgroupLocation::Prestaged { tier, key } => {
+                    out.push_str(&format!("P {tier} {key}\n"))
+                }
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the `mlpckpt v1` wire format written by
+    /// [`CheckpointManifest::to_bytes`]. Corruption surfaces as a typed
+    /// `InvalidData` error, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<CheckpointManifest> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, format!("bad manifest: {msg}"));
+        let text = std::str::from_utf8(bytes).map_err(|_| bad("not utf-8"))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("mlpckpt v1") {
+            return Err(bad("missing magic header"));
+        }
+        let mut field = |name: &str| -> std::io::Result<String> {
+            let line = lines.next().ok_or_else(|| bad("truncated header"))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("expected `{name}` line")))
+        };
+        let tag = field("tag")?;
+        let parse =
+            |s: String| -> std::io::Result<u64> { s.parse().map_err(|_| bad("non-numeric field")) };
+        let worker_id = parse(field("worker")?)? as usize;
+        let step = parse(field("step")?)?;
+        let iter = parse(field("iter")?)?;
+        let count = parse(field("subgroups")?)? as usize;
+        let mut subgroups = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| bad("truncated subgroup list"))?;
+            let loc = if let Some(key) = line.strip_prefix("T ") {
+                SubgroupLocation::Target { key: key.to_string() }
+            } else if let Some(rest) = line.strip_prefix("P ") {
+                let (tier, key) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| bad("malformed prestaged entry"))?;
+                SubgroupLocation::Prestaged {
+                    tier: tier.parse().map_err(|_| bad("non-numeric tier"))?,
+                    key: key.to_string(),
+                }
+            } else {
+                return Err(bad("unknown subgroup entry"));
+            };
+            subgroups.push(loc);
+        }
+        Ok(CheckpointManifest {
+            tag,
+            worker_id,
+            step,
+            iter,
+            subgroups,
+        })
     }
 }
 
@@ -132,6 +220,351 @@ impl PrestageReport {
     }
 }
 
+/// One subgroup's last successful upload into the object store, used by
+/// the incremental skip: an upload taken at the same optimizer step is
+/// still byte-identical, so the pipeline references it instead of moving
+/// the bytes again.
+struct UploadedSubgroup {
+    step: u64,
+    key: String,
+}
+
+/// One subgroup of a checkpoint whose flush stage may still be in flight.
+pub(crate) enum PendingEntry {
+    /// Host-resident state flushing to the staging tier.
+    Flushing {
+        /// Subgroup id.
+        idx: usize,
+        /// Temporary key on the staging tier (pruned after the trickle).
+        staging_key: String,
+        /// Serialized state size.
+        bytes: u64,
+        /// The in-flight staging write.
+        handle: OpHandle,
+    },
+    /// Already durable in the object store at the current optimizer step
+    /// (incremental skip).
+    Reused {
+        /// Subgroup id.
+        idx: usize,
+        /// Existing object key, re-referenced by the new manifest.
+        key: String,
+    },
+    /// Referenced in place on a third-level tier (§3.3 pre-staging).
+    Prestaged {
+        /// Subgroup id.
+        idx: usize,
+        /// Tier index within the engine's tier set.
+        tier: usize,
+        /// Object key on that tier.
+        key: String,
+    },
+}
+
+/// A checkpoint whose flush stage has been submitted but not yet settled.
+///
+/// Produced by `MlpFuncEngine::start_checkpoint`; the staging writes run
+/// on the I/O engine's workers while training continues (the Fig. 5
+/// overlap, applied to checkpointing). [`CheckpointPipeline::drain`]
+/// settles it: waits for the flushes, trickles the staged bytes to the
+/// object store, verifies, publishes the manifest, and prunes.
+pub struct PendingCheckpoint {
+    pub(crate) tag: String,
+    pub(crate) worker_id: usize,
+    pub(crate) step: u64,
+    pub(crate) iter: u64,
+    pub(crate) entries: Vec<PendingEntry>,
+    pub(crate) stats: CheckpointStats,
+    pub(crate) started_ns: u64,
+}
+
+impl PendingCheckpoint {
+    /// Byte accounting known at submission time (flushed bytes are counted
+    /// even though the writes may still be in flight).
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+}
+
+/// The asynchronous multi-tier checkpoint engine: flush to a fast durable
+/// staging tier (NVMe-class), trickle to the object store in the
+/// background, commit with one atomic manifest PUT.
+///
+/// Safety ordering per checkpoint (`DESIGN.md` §14):
+///
+/// 1. **flush** — host-resident subgroups are written to the staging tier
+///    through an [`AioEngine`] (typed transient/permanent error semantics
+///    and retries apply);
+/// 2. **trickle** — staged bytes are copied to the object store; subgroups
+///    whose upload from a previous checkpoint is still current (same
+///    optimizer step) are skipped and re-referenced (*incremental*);
+/// 3. **verify** — every object key the new manifest will reference must
+///    exist before publication;
+/// 4. **publish** — the manifest is written with a single PUT (atomic on
+///    an object store: no rename needed);
+/// 5. **prune** — only now are staging copies, superseded subgroup
+///    objects, and the previous manifest deleted.
+///
+/// A crash anywhere before step 4 leaves the previous checkpoint fully
+/// intact; a crash after it leaves the new one committed. There is no
+/// window in which neither is restorable.
+pub struct CheckpointPipeline {
+    staging_backend: Arc<dyn Backend>,
+    object_backend: Arc<dyn Backend>,
+    staging: AioEngine,
+    object: AioEngine,
+    trace: TraceSink,
+    uploaded: HashMap<usize, UploadedSubgroup>,
+    last_tag: Option<String>,
+    flush_bytes: Counter,
+    trickle_bytes: Counter,
+    prestaged_bytes: Counter,
+    incremental_skips: Counter,
+    checkpoints: Counter,
+    restores: Counter,
+    pruned_objects: Counter,
+}
+
+impl CheckpointPipeline {
+    /// Creates a pipeline flushing to `staging` and publishing to
+    /// `object`, with default I/O configurations.
+    pub fn new(
+        staging: Arc<dyn Backend>,
+        object: Arc<dyn Backend>,
+        trace: TraceSink,
+    ) -> Self {
+        Self::with_aio(staging, object, trace, AioConfig::default(), AioConfig::default())
+    }
+
+    /// Creates a pipeline with explicit I/O configurations (retry policy,
+    /// worker count) for the staging and object hops — e.g. a patient
+    /// [`mlp_aio::RetryPolicy`] for a fault-prone object store.
+    pub fn with_aio(
+        staging: Arc<dyn Backend>,
+        object: Arc<dyn Backend>,
+        trace: TraceSink,
+        staging_aio: AioConfig,
+        object_aio: AioConfig,
+    ) -> Self {
+        CheckpointPipeline {
+            staging: AioEngine::new(Arc::clone(&staging), staging_aio),
+            object: AioEngine::new(Arc::clone(&object), object_aio),
+            staging_backend: staging,
+            object_backend: object,
+            uploaded: HashMap::new(),
+            last_tag: None,
+            flush_bytes: trace.counter("ckpt.flush_bytes"),
+            trickle_bytes: trace.counter("ckpt.trickle_bytes"),
+            prestaged_bytes: trace.counter("ckpt.prestaged_bytes"),
+            incremental_skips: trace.counter("ckpt.incremental_skips"),
+            checkpoints: trace.counter("ckpt.checkpoints"),
+            restores: trace.counter("ckpt.restores"),
+            pruned_objects: trace.counter("ckpt.pruned_objects"),
+            trace,
+        }
+    }
+
+    /// The backend checkpoints are published to (the restore target).
+    pub fn object_backend(&self) -> &Arc<dyn Backend> {
+        &self.object_backend
+    }
+
+    /// If subgroup `idx`'s object upload is still current at `step`,
+    /// returns its key (and counts the incremental skip).
+    pub(crate) fn reusable_upload(&self, idx: usize, step: u64) -> Option<String> {
+        let u = self.uploaded.get(&idx)?;
+        (u.step == step).then(|| {
+            self.incremental_skips.inc();
+            u.key.clone()
+        })
+    }
+
+    /// Submits one staging write (stage 1 of the pipeline).
+    pub(crate) fn submit_flush(&self, key: &str, data: Vec<u8>) -> OpHandle {
+        self.staging.submit_write(key, data)
+    }
+
+    /// Settles a pending checkpoint: waits for the staging flushes,
+    /// trickles the staged bytes into the object store, verifies every
+    /// referenced object, publishes the manifest, and prunes staging
+    /// copies plus superseded objects. Returns the published manifest.
+    pub fn drain(
+        &mut self,
+        pending: PendingCheckpoint,
+    ) -> io::Result<(CheckpointManifest, CheckpointStats)> {
+        let PendingCheckpoint {
+            tag,
+            worker_id,
+            step,
+            iter,
+            entries,
+            stats,
+            started_ns,
+        } = pending;
+
+        // Stage 1: settle the staging flushes.
+        let mut staged: Vec<(usize, String, u64)> = Vec::new();
+        let mut locations: Vec<(usize, SubgroupLocation)> = Vec::new();
+        let mut flushed_bytes = 0u64;
+        for e in entries {
+            match e {
+                PendingEntry::Flushing {
+                    idx,
+                    staging_key,
+                    bytes,
+                    handle,
+                } => {
+                    handle.wait_flush().map_err(|(e, _)| e)?;
+                    flushed_bytes += bytes;
+                    staged.push((idx, staging_key, bytes));
+                }
+                PendingEntry::Reused { idx, key } => {
+                    locations.push((idx, SubgroupLocation::Target { key }));
+                }
+                PendingEntry::Prestaged { idx, tier, key } => {
+                    locations.push((idx, SubgroupLocation::Prestaged { tier, key }));
+                }
+            }
+        }
+        let flush_end = self.trace.now_ns();
+        if self.trace.is_enabled() && flushed_bytes > 0 {
+            self.trace
+                .complete_span(Phase::CkptFlush, Attrs::bytes(flushed_bytes), started_ns, flush_end);
+        }
+
+        // Stage 2: trickle staging → object store, all hops in flight at
+        // once (the object engine's workers provide the concurrency an
+        // object store needs to reach aggregate bandwidth).
+        let mut trickles = Vec::with_capacity(staged.len());
+        for (idx, staging_key, bytes) in &staged {
+            let body = self.staging.submit_read(staging_key).wait()?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("staged checkpoint object {staging_key} returned no payload"),
+                )
+            })?;
+            let key = CheckpointManifest::subgroup_key(&tag, worker_id, *idx);
+            let handle = self.object.submit_write(&key, body);
+            trickles.push((*idx, key, *bytes, handle));
+        }
+        let mut trickled_bytes = 0u64;
+        let mut fresh: Vec<(usize, String)> = Vec::with_capacity(trickles.len());
+        for (idx, key, bytes, handle) in trickles {
+            handle.wait_flush().map_err(|(e, _)| e)?;
+            trickled_bytes += bytes;
+            locations.push((idx, SubgroupLocation::Target { key: key.clone() }));
+            fresh.push((idx, key));
+        }
+        if self.trace.is_enabled() && trickled_bytes > 0 {
+            self.trace.complete_span(
+                Phase::CkptTrickle,
+                Attrs::bytes(trickled_bytes),
+                flush_end,
+                self.trace.now_ns(),
+            );
+        }
+
+        // Stage 3: verify — every object the manifest references must be
+        // readable before we commit to it.
+        for (_, loc) in &locations {
+            if let SubgroupLocation::Target { key } = loc {
+                if !self.object_backend.contains(key) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("checkpoint object {key} missing before publish"),
+                    ));
+                }
+            }
+        }
+
+        // Stage 4: publish — one atomic manifest PUT is the commit point.
+        locations.sort_by_key(|(idx, _)| *idx);
+        let manifest = CheckpointManifest {
+            tag: tag.clone(),
+            worker_id,
+            step,
+            iter,
+            subgroups: locations.into_iter().map(|(_, l)| l).collect(),
+        };
+        self.object
+            .submit_write(
+                &CheckpointManifest::manifest_key(&tag, worker_id),
+                manifest.to_bytes(),
+            )
+            .wait_flush()
+            .map_err(|(e, _)| e)?;
+
+        // Stage 5: prune — staging copies, superseded subgroup objects,
+        // and the previous manifest. Failures here are non-fatal (the new
+        // checkpoint is already committed); deletes are idempotent.
+        for (_, staging_key, _) in &staged {
+            let _ = self.staging_backend.delete(staging_key);
+        }
+        for (idx, key) in fresh {
+            if let Some(old) = self.uploaded.insert(idx, UploadedSubgroup { step, key: key.clone() }) {
+                if old.key != key {
+                    let _ = self.object_backend.delete(&old.key);
+                    self.pruned_objects.inc();
+                }
+            }
+        }
+        if let Some(prev) = self.last_tag.replace(tag) {
+            if prev != manifest.tag {
+                let _ = self
+                    .object_backend
+                    .delete(&CheckpointManifest::manifest_key(&prev, worker_id));
+                self.pruned_objects.inc();
+            }
+        }
+
+        self.flush_bytes.add(flushed_bytes);
+        self.trickle_bytes.add(trickled_bytes);
+        self.prestaged_bytes.add(stats.prestaged_bytes);
+        self.checkpoints.inc();
+        Ok((manifest, stats))
+    }
+
+    /// Synchronous convenience: start and immediately drain (the blocking
+    /// baseline a synchronous checkpointer would produce — no overlap).
+    pub fn checkpoint(
+        &mut self,
+        engine: &crate::func::MlpFuncEngine,
+        tag: &str,
+    ) -> io::Result<(CheckpointManifest, CheckpointStats)> {
+        let pending = engine.start_checkpoint(self, tag)?;
+        self.drain(pending)
+    }
+
+    /// Rebuilds a worker engine from a checkpoint this pipeline published
+    /// (manifest and copied subgroups read from the object store,
+    /// pre-staged subgroups resolved against `shared_tiers`).
+    pub fn restore(
+        &self,
+        cfg: crate::EngineConfig,
+        optimizer: impl Into<mlp_optim::optimizer::OptimizerConfig>,
+        shared_tiers: &[crate::func::SharedTier],
+        worker_id: usize,
+        tag: &str,
+    ) -> io::Result<crate::func::MlpFuncEngine> {
+        let engine = crate::func::MlpFuncEngine::restore(
+            cfg,
+            optimizer,
+            shared_tiers,
+            worker_id,
+            &*self.object_backend,
+            tag,
+        )?;
+        self.restores.inc();
+        Ok(engine)
+    }
+
+    /// Transient-error re-attempts performed by the pipeline's two I/O
+    /// engines (staging + object hops).
+    pub fn io_retries(&self) -> u64 {
+        self.staging.retries() + self.object.retries()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +601,210 @@ mod tests {
         };
         let r = PrestageReport::from_distribution(&dist, &[testbed1_nvme()]);
         assert_eq!(r.prestaged_fraction(), 0.0);
+    }
+
+    #[test]
+    fn manifest_wire_format_round_trips() {
+        let m = CheckpointManifest {
+            tag: "step 120".into(), // tags may contain spaces
+            worker_id: 3,
+            step: 120,
+            iter: 40,
+            subgroups: vec![
+                SubgroupLocation::Target { key: "ckpt/step 120/w3/sub0".into() },
+                SubgroupLocation::Prestaged { tier: 1, key: "w3/sub1".into() },
+            ],
+        };
+        let back = CheckpointManifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.tag, m.tag);
+        assert_eq!(back.worker_id, m.worker_id);
+        assert_eq!(back.step, m.step);
+        assert_eq!(back.iter, m.iter);
+        assert_eq!(back.subgroups, m.subgroups);
+    }
+
+    #[test]
+    fn manifest_corruption_is_a_typed_error() {
+        for bad in [
+            &b"not a manifest"[..],
+            b"mlpckpt v1\ntag t\nworker 0\nstep x\niter 0\nsubgroups 0\n",
+            b"mlpckpt v1\ntag t\nworker 0\nstep 1\niter 0\nsubgroups 2\nT a\n",
+            b"mlpckpt v1\ntag t\nworker 0\nstep 1\niter 0\nsubgroups 1\nQ a\n",
+            b"\xff\xfe",
+        ] {
+            let err = CheckpointManifest::from_bytes(bad).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{bad:?}");
+        }
+    }
+
+    mod pipeline {
+        use super::super::*;
+        use crate::func::{MlpFuncEngine, SharedTier};
+        use crate::EngineConfig;
+        use mlp_optim::{AdamConfig, SubgroupState};
+        use mlp_storage::{Backend, MemBackend};
+        use mlp_tensor::F16;
+        use mlp_trace::TraceSink;
+        use std::sync::Arc;
+
+        fn tiers(n: usize) -> Vec<SharedTier> {
+            (0..n)
+                .map(|i| {
+                    SharedTier::new(
+                        Arc::new(MemBackend::new(format!("mem{i}"))) as Arc<dyn Backend>,
+                        (n - i) as f64,
+                    )
+                })
+                .collect()
+        }
+
+        fn states(subgroups: usize, len: usize) -> Vec<SubgroupState> {
+            (0..subgroups)
+                .map(|s| {
+                    SubgroupState::new((0..len).map(|i| ((s * len + i) as f32).sin()).collect())
+                })
+                .collect()
+        }
+
+        fn step(engine: &mut MlpFuncEngine, subgroups: usize, len: usize, seed: f32) {
+            let grads: Vec<Vec<u16>> = (0..subgroups)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| {
+                            F16::from_f32(((s * len + i) as f32 * 0.01 + seed).cos() * 0.1)
+                                .to_bits()
+                        })
+                        .collect()
+                })
+                .collect();
+            engine.accumulate_gradients(&grads);
+            engine.update().unwrap();
+        }
+
+        fn pipeline_over_mem(trace: &TraceSink) -> (CheckpointPipeline, Arc<MemBackend>) {
+            let staging = Arc::new(MemBackend::new("stage"));
+            let object = Arc::new(MemBackend::new("object"));
+            let pipe = CheckpointPipeline::new(
+                Arc::clone(&staging) as Arc<dyn Backend>,
+                object as Arc<dyn Backend>,
+                trace.clone(),
+            );
+            (pipe, staging)
+        }
+
+        #[test]
+        fn two_hop_checkpoint_publishes_then_prunes_staging() {
+            let trace = TraceSink::enabled();
+            let shared = tiers(2);
+            let mut engine = MlpFuncEngine::new(
+                EngineConfig::mlp_offload().with_host_frames(6),
+                AdamConfig::default(),
+                &shared,
+                0,
+                states(5, 24),
+            )
+            .unwrap();
+            for it in 0..3 {
+                step(&mut engine, 5, 24, it as f32);
+            }
+
+            let (mut pipe, staging) = pipeline_over_mem(&trace);
+            let (manifest, stats) = pipe.checkpoint(&engine, "c0").unwrap();
+            assert_eq!(manifest.subgroups.len(), 5);
+            assert!(stats.copied_bytes > 0, "host residents must flush");
+
+            // Published: manifest + every copied subgroup on the object store.
+            let object = Arc::clone(pipe.object_backend());
+            assert!(object.contains(&CheckpointManifest::manifest_key("c0", 0)));
+            for loc in &manifest.subgroups {
+                if let SubgroupLocation::Target { key } = loc {
+                    assert!(object.contains(key), "missing {key}");
+                }
+            }
+            // Pruned: no staging copies survive a successful drain.
+            for idx in 0..5 {
+                assert!(
+                    !staging.contains(&format!("ckptstage/c0/w0/sub{idx}")),
+                    "staging copy {idx} not pruned"
+                );
+            }
+            // Meters observed the two hops.
+            let snap = trace.metrics_snapshot();
+            assert_eq!(snap.counter("ckpt.checkpoints"), Some(1));
+            assert!(snap.counter("ckpt.flush_bytes").unwrap() > 0);
+            assert!(snap.counter("ckpt.trickle_bytes").unwrap() > 0);
+
+            // And the published checkpoint restores bit-identically.
+            let restored = pipe
+                .restore(
+                    EngineConfig::mlp_offload().with_host_frames(6),
+                    AdamConfig::default(),
+                    &shared,
+                    0,
+                    "c0",
+                )
+                .unwrap();
+            assert_eq!(
+                restored.master_params().unwrap(),
+                engine.master_params().unwrap()
+            );
+        }
+
+        #[test]
+        fn repeated_checkpoint_without_update_is_incremental() {
+            let trace = TraceSink::enabled();
+            let shared = tiers(2);
+            let mut engine = MlpFuncEngine::new(
+                EngineConfig::mlp_offload().with_host_frames(6),
+                AdamConfig::default(),
+                &shared,
+                0,
+                states(5, 24),
+            )
+            .unwrap();
+            step(&mut engine, 5, 24, 0.0);
+
+            let (mut pipe, _staging) = pipeline_over_mem(&trace);
+            pipe.checkpoint(&engine, "c0").unwrap();
+            let trickled_once = trace
+                .metrics_snapshot()
+                .counter("ckpt.trickle_bytes")
+                .unwrap();
+            assert!(trickled_once > 0);
+
+            // Same optimizer step → every upload is still current: nothing
+            // re-trickles, the new manifest re-references existing objects.
+            let (m1, _) = pipe.checkpoint(&engine, "c1").unwrap();
+            let snap = trace.metrics_snapshot();
+            assert_eq!(snap.counter("ckpt.trickle_bytes"), Some(trickled_once));
+            assert!(snap.counter("ckpt.incremental_skips").unwrap() > 0);
+            let object = Arc::clone(pipe.object_backend());
+            // The superseded manifest is pruned; the new one is live and
+            // still restores even though it copied nothing new.
+            assert!(!object.contains(&CheckpointManifest::manifest_key("c0", 0)));
+            assert!(object.contains(&CheckpointManifest::manifest_key("c1", 0)));
+            assert_eq!(m1.subgroups.len(), 5);
+            let restored = pipe
+                .restore(
+                    EngineConfig::mlp_offload().with_host_frames(6),
+                    AdamConfig::default(),
+                    &shared,
+                    0,
+                    "c1",
+                )
+                .unwrap();
+            assert_eq!(
+                restored.master_params().unwrap(),
+                engine.master_params().unwrap()
+            );
+
+            // A further update invalidates the uploads: the next checkpoint
+            // must trickle fresh bytes again.
+            step(&mut engine, 5, 24, 1.0);
+            pipe.checkpoint(&engine, "c2").unwrap();
+            let snap = trace.metrics_snapshot();
+            assert!(snap.counter("ckpt.trickle_bytes").unwrap() > trickled_once);
+            assert!(snap.counter("ckpt.pruned_objects").unwrap() > 0);
+        }
     }
 }

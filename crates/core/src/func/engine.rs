@@ -1245,13 +1245,84 @@ impl MlpFuncEngine {
             iter: self.iter,
             subgroups,
         };
-        let body = serde_json::to_vec(&manifest)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         target.write(
             &CheckpointManifest::manifest_key(tag, self.worker_id),
-            &body,
+            &manifest.to_bytes(),
         )?;
         Ok((manifest, stats))
+    }
+
+    /// Starts an asynchronous two-hop checkpoint through `pipe`: host-
+    /// resident subgroups are submitted to the staging tier (the writes
+    /// run on the I/O engine's workers while training continues),
+    /// tier-resident subgroups are referenced in place (§3.3 pre-staging),
+    /// and subgroups whose object-store upload is still current at this
+    /// optimizer step are skipped entirely (incremental checkpointing).
+    ///
+    /// The returned [`PendingCheckpoint`] must be settled with
+    /// [`CheckpointPipeline::drain`], which trickles the staged bytes to
+    /// the object store, verifies, publishes the manifest, and prunes.
+    ///
+    /// [`CheckpointPipeline::drain`]: crate::checkpoint::CheckpointPipeline::drain
+    pub fn start_checkpoint(
+        &self,
+        pipe: &crate::checkpoint::CheckpointPipeline,
+        tag: &str,
+    ) -> io::Result<crate::checkpoint::PendingCheckpoint> {
+        use crate::checkpoint::{PendingCheckpoint, PendingEntry};
+        let started_ns = self.cfg.trace.now_ns();
+        let mut entries = Vec::with_capacity(self.subgroup_lens.len());
+        let mut stats = CheckpointStats::default();
+        for idx in 0..self.subgroup_lens.len() {
+            match self.placement[idx] {
+                Placement::Host => {
+                    if let Some(key) = pipe.reusable_upload(idx, self.step) {
+                        stats.prestaged_bytes += self.subgroup_lens[idx] as u64 * 12;
+                        entries.push(PendingEntry::Reused { idx, key });
+                        continue;
+                    }
+                    let bytes = self
+                        .resident
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .ok_or_else(|| {
+                            invariant_violation(format!(
+                                "subgroup {idx} marked host-resident but absent from the residency table"
+                            ))
+                        })?
+                        .1
+                        .state_bytes();
+                    let len = bytes.len() as u64;
+                    stats.copied_bytes += len;
+                    let staging_key =
+                        format!("ckptstage/{tag}/w{}/sub{idx}", self.worker_id);
+                    let handle = pipe.submit_flush(&staging_key, bytes);
+                    entries.push(PendingEntry::Flushing {
+                        idx,
+                        staging_key,
+                        bytes: len,
+                        handle,
+                    });
+                }
+                Placement::Tier(t) => {
+                    stats.prestaged_bytes += self.subgroup_lens[idx] as u64 * 12;
+                    entries.push(PendingEntry::Prestaged {
+                        idx,
+                        tier: t,
+                        key: self.key(idx),
+                    });
+                }
+            }
+        }
+        Ok(PendingCheckpoint {
+            tag: tag.to_string(),
+            worker_id: self.worker_id,
+            step: self.step,
+            iter: self.iter,
+            entries,
+            stats,
+            started_ns,
+        })
     }
 
     /// Rebuilds a worker engine from a checkpoint written by
@@ -1266,8 +1337,7 @@ impl MlpFuncEngine {
         tag: &str,
     ) -> io::Result<Self> {
         let body = target.read(&CheckpointManifest::manifest_key(tag, worker_id))?;
-        let manifest: CheckpointManifest = serde_json::from_slice(&body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let manifest = CheckpointManifest::from_bytes(&body)?;
         let mut states = Vec::with_capacity(manifest.subgroups.len());
         for loc in &manifest.subgroups {
             let bytes = match loc {

@@ -69,6 +69,9 @@ struct WorkerState {
     /// Flushes left in flight by a deferred-drain update phase, settled
     /// at the start of the next one (or by [`SimWorker::drain_flushes`]).
     pending_flushes: Vec<mlp_sim::JoinHandle<()>>,
+    /// Capacity pinned by the live checkpoint's durable copies, per tier;
+    /// released when the next checkpoint supersedes it (prune stage).
+    ckpt_staged: Vec<(usize, u64)>,
 }
 
 struct Inner {
@@ -143,6 +146,7 @@ impl SimWorker {
                     iter: 0,
                     planner,
                     pending_flushes: Vec::new(),
+                    ckpt_staged: Vec::new(),
                 }),
                 env,
                 worker_id,
@@ -712,6 +716,147 @@ impl SimWorker {
             h.await;
         }
     }
+
+    /// Runs one checkpoint through the virtual-time engine, mirroring the
+    /// functional [`CheckpointPipeline`](crate::checkpoint::CheckpointPipeline):
+    /// host-resident subgroups are *flushed* to the fast durable tier
+    /// `fast_tier` ([`Phase::CkptFlush`] spans), then — when `object_tier`
+    /// names a second hop — *trickled* to the object store
+    /// ([`Phase::CkptTrickle`] spans) and their staging capacity released.
+    /// Tier-resident subgroups already have a durable copy (§3.3
+    /// pre-staging) and cost no I/O. Capacity pinned by the previous
+    /// checkpoint's durable copies is released first (prune-on-supersede).
+    ///
+    /// With `sync` true the call blocks until every copy is durable (the
+    /// synchronous-checkpoint baseline: the full flush sits on the
+    /// critical path). With `sync` false the spawned tasks are left in
+    /// `pending_flushes`, settling at the next update phase's drain — so
+    /// on the timeline they overlap the backward pass that runs in
+    /// between, exactly like deferred eviction flushes (the Fig. 5
+    /// overlap applied to checkpointing).
+    ///
+    /// Returns the byte accounting known at submission time.
+    pub async fn run_checkpoint(
+        &self,
+        fast_tier: usize,
+        object_tier: Option<usize>,
+        sync: bool,
+    ) -> crate::checkpoint::CheckpointStats {
+        let sim = self.inner.env.sim.clone();
+        assert!(fast_tier < self.inner.env.num_tiers(), "fast tier out of range");
+        if let Some(o) = object_tier {
+            assert!(o < self.inner.env.num_tiers(), "object tier out of range");
+        }
+        // Prune: the previous checkpoint's durable copies are superseded.
+        {
+            let mut st = self.inner.state.borrow_mut();
+            for (t, bytes) in st.ckpt_staged.drain(..) {
+                self.inner.env.tiers[t].release(bytes);
+            }
+        }
+        let mut stats = crate::checkpoint::CheckpointStats::default();
+        let mut handles = Vec::new();
+        let m = self.inner.subgroups.len();
+        for idx in 0..m {
+            let sub = self.inner.subgroups[idx];
+            match self.inner.state.borrow().placement[idx] {
+                // A durable copy already exists on a third-level tier (or
+                // its eviction flush is in flight and fenced): pre-staged.
+                Placement::Tier(_) => {
+                    stats.prestaged_bytes += sub.state_bytes();
+                    continue;
+                }
+                Placement::Host => stats.copied_bytes += sub.state_bytes(),
+            }
+            let this = self.clone();
+            handles.push(sim.spawn(async move {
+                let sim = this.inner.env.sim.clone();
+                let bytes = this.inner.subgroups[idx].state_bytes();
+                let wid = this.inner.worker_id as u32;
+                let fstart = sim.now_secs();
+                {
+                    let _lock = this.maybe_lock(fast_tier).await;
+                    this.inner.env.tiers[fast_tier].write(bytes).await;
+                }
+                if this.inner.cfg.trace.is_enabled() {
+                    this.inner.cfg.trace.complete_span(
+                        Phase::CkptFlush,
+                        Attrs {
+                            tid: wid,
+                            tier: fast_tier as i32,
+                            subgroup: idx as i64,
+                            bytes,
+                            ..Attrs::NONE
+                        },
+                        vns(fstart),
+                        vns(sim.now_secs()),
+                    );
+                }
+                match object_tier {
+                    Some(o) if o != fast_tier => {
+                        let tstart = sim.now_secs();
+                        {
+                            let _lock = this.maybe_lock(fast_tier).await;
+                            this.inner.env.tiers[fast_tier].read(bytes).await;
+                        }
+                        {
+                            // The node-level exclusive lock protects
+                            // seek-bound NVMe/PFS tiers from thrashing; an
+                            // object store is the opposite case — its
+                            // concurrency-efficiency curve needs many
+                            // concurrent streams to reach aggregate
+                            // bandwidth — so trickle streams bypass it on
+                            // tiers that declare per-stream scaling.
+                            let _lock = if this.inner.env.tiers[o].spec().per_stream_bps > 0.0 {
+                                None
+                            } else {
+                                this.maybe_lock(o).await
+                            };
+                            this.inner.env.tiers[o].write(bytes).await;
+                        }
+                        if this.inner.cfg.trace.is_enabled() {
+                            this.inner.cfg.trace.complete_span(
+                                Phase::CkptTrickle,
+                                Attrs {
+                                    tid: wid,
+                                    tier: o as i32,
+                                    subgroup: idx as i64,
+                                    bytes,
+                                    ..Attrs::NONE
+                                },
+                                vns(tstart),
+                                vns(sim.now_secs()),
+                            );
+                        }
+                        // Staging copy pruned once the object copy is
+                        // durable; the object copy outlives the call.
+                        this.inner.env.tiers[fast_tier].release(bytes);
+                        this.inner.state.borrow_mut().ckpt_staged.push((o, bytes));
+                    }
+                    _ => {
+                        // Single-hop: the fast-tier copy is the checkpoint.
+                        this.inner
+                            .state
+                            .borrow_mut()
+                            .ckpt_staged
+                            .push((fast_tier, bytes));
+                    }
+                }
+            }));
+        }
+        if sync {
+            for h in handles {
+                h.await;
+            }
+        } else {
+            self.inner
+                .state
+                .borrow_mut()
+                .pending_flushes
+                .extend(handles);
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -1147,6 +1292,93 @@ mod tests {
         assert!(n > 0);
         let (overlapped, _) = run(false);
         assert!(!overlapped, "eager drain must serialize flushes and backward");
+    }
+
+    #[test]
+    fn async_checkpoint_overlaps_next_backward() {
+        // Twin runs of update → checkpoint → backward: asynchronously the
+        // checkpoint flush must overlap the backward pass on the timeline;
+        // synchronously it must fully precede it (the blocking baseline).
+        let run = |sync: bool| {
+            let sim = Sim::new();
+            let env = NodeSimEnv::new(
+                &sim,
+                &node(vec![
+                    testbed1_nvme(),
+                    mlp_storage::spec::object_store(),
+                ]),
+            );
+            // 6 frames over depth 3 → 3 retained host residents, so the
+            // checkpoint has host-resident state to flush.
+            let mut cfg = EngineConfig::mlp_offload().with_host_frames(6);
+            cfg.trace = mlp_trace::TraceSink::enabled();
+            let trace = cfg.trace.clone();
+            let w = SimWorker::new(env, 0, cfg, subgroups(8, 100_000_000));
+            let stats = sim.block_on({
+                let w = w.clone();
+                async move {
+                    w.run_update().await;
+                    let stats = w.run_checkpoint(0, Some(1), sync).await;
+                    w.run_backward(0.2, true).await;
+                    w.drain_flushes().await;
+                    stats
+                }
+            });
+            assert!(stats.copied_bytes > 0, "no host-resident state flushed");
+            assert!(stats.prestaged_bytes > 0, "no tier-resident state reused");
+            let events = trace.events();
+            let backward = events
+                .iter()
+                .filter(|e| e.phase == Phase::Backward)
+                .last()
+                .copied()
+                .expect("backward span");
+            let flushes: Vec<_> = events
+                .iter()
+                .filter(|e| e.phase == Phase::CkptFlush)
+                .collect();
+            let trickles: Vec<_> = events
+                .iter()
+                .filter(|e| e.phase == Phase::CkptTrickle)
+                .collect();
+            assert!(!flushes.is_empty(), "no ckpt_flush spans recorded");
+            assert!(!trickles.is_empty(), "no ckpt_trickle spans recorded");
+            flushes
+                .iter()
+                .chain(&trickles)
+                .any(|e| e.overlaps(&backward))
+        };
+        assert!(run(false), "async checkpoint must overlap the backward pass");
+        assert!(!run(true), "sync checkpoint must precede the backward pass");
+    }
+
+    #[test]
+    fn checkpoint_supersede_releases_staged_capacity() {
+        let sim = Sim::new();
+        let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme(), testbed1_pfs()]));
+        let tiers = env.tiers.clone();
+        let w = SimWorker::new(
+            env,
+            0,
+            EngineConfig::mlp_offload().with_host_frames(6),
+            subgroups(6, 50_000_000),
+        );
+        // One update retains some host residents, so checkpoints stage.
+        run_update_once(&w, &sim);
+        let used_after = |w: &SimWorker, sim: &Sim| {
+            let stats = sim.block_on({
+                let w = w.clone();
+                async move { w.run_checkpoint(0, Some(1), true).await }
+            });
+            assert!(stats.copied_bytes > 0, "nothing staged");
+            (tiers[0].used_bytes(), tiers[1].used_bytes())
+        };
+        let (nvme1, obj1) = used_after(&w, &sim);
+        // Staging copies are pruned after the trickle; the object tier
+        // holds the live checkpoint's durable copies.
+        let (nvme2, obj2) = used_after(&w, &sim);
+        assert_eq!(nvme1, nvme2, "staging capacity must not accumulate");
+        assert_eq!(obj1, obj2, "superseded checkpoints must be pruned");
     }
 
     #[test]

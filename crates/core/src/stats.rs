@@ -123,12 +123,18 @@ pub struct IterationBreakdown {
     pub backward_s: f64,
     /// Update-phase seconds.
     pub update_s: f64,
+    /// Checkpoint seconds spent on the critical path at the iteration
+    /// boundary: the full flush + trickle cost for a synchronous
+    /// checkpoint, close to zero for the asynchronous pipeline (whose
+    /// I/O settles during the next iteration instead).
+    #[serde(default)]
+    pub checkpoint_s: f64,
 }
 
 impl IterationBreakdown {
     /// Total iteration seconds.
     pub fn total_s(&self) -> f64 {
-        self.forward_s + self.backward_s + self.update_s
+        self.forward_s + self.backward_s + self.update_s + self.checkpoint_s
     }
 }
 
@@ -195,7 +201,8 @@ mod tests {
             forward_s: 0.5,
             backward_s: 2.0,
             update_s: 10.0,
+            checkpoint_s: 1.5,
         };
-        assert_eq!(b.total_s(), 12.5);
+        assert_eq!(b.total_s(), 14.0);
     }
 }

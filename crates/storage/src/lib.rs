@@ -22,11 +22,15 @@
 //! * [`fault`] — the transient/permanent error taxonomy shared with the
 //!   retry layer, and a deterministic (seeded) fault-injecting backend
 //!   decorator for exercising it.
+//! * [`object`] — an emulated S3-like object store (first-byte latency,
+//!   per-stream bandwidth, multipart upload, coalesced range GETs, no
+//!   rename), the third-level tier behind NVMe and the PFS.
 
 pub mod backend;
 pub mod fault;
 pub mod integrity;
 pub mod microbench;
+pub mod object;
 pub mod sim_tier;
 pub mod spec;
 pub mod traced;
@@ -34,6 +38,7 @@ pub mod traced;
 pub use backend::{unique_tmp_sibling, Backend, DirBackend, MemBackend, RawFileTarget};
 pub use fault::{classify, is_transient, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend};
 pub use integrity::ChecksummedBackend;
+pub use object::{coalesce_ranges, ObjectBackend, ObjectConfig};
 pub use sim_tier::SimTier;
 pub use spec::{TierKind, TierSpec};
 pub use traced::TracedBackend;

@@ -94,18 +94,34 @@ impl SimTier {
     }
 
     /// Applies or lifts the mixed-I/O penalty when the direction mix
-    /// changes.
+    /// changes. Tiers with a per-stream cap re-point on *every* change
+    /// of the stream counts (their effective bandwidth is the
+    /// concurrency-efficiency curve, not a constant).
     fn sync_mixed_mode(&self) {
         let mixed = self.shared.active_reads.get() > 0 && self.shared.active_writes.get() > 0;
-        if mixed == self.shared.mixed.get() {
-            return;
+        let changed = mixed != self.shared.mixed.get();
+        if changed {
+            self.shared.mixed.set(mixed);
         }
-        self.shared.mixed.set(mixed);
-        self.apply_rates();
+        if changed || self.spec.per_stream_bps > 0.0 {
+            self.apply_rates();
+        }
     }
 
-    /// Re-points both links from the spec, the mixed-mode penalty, and
-    /// the external load factor.
+    /// The concurrency-efficiency curve: aggregate link bandwidth capped
+    /// at `streams × per_stream_bps` when the spec declares a per-stream
+    /// cap (object stores). `streams` is clamped to ≥ 1 so an arriving
+    /// op always finds capacity.
+    fn curve(&self, aggregate_bps: f64, streams: usize) -> f64 {
+        if self.spec.per_stream_bps > 0.0 {
+            aggregate_bps.min(streams.max(1) as f64 * self.spec.per_stream_bps)
+        } else {
+            aggregate_bps
+        }
+    }
+
+    /// Re-points both links from the spec, the concurrency curve, the
+    /// mixed-mode penalty, and the external load factor.
     fn apply_rates(&self) {
         let eff = if self.shared.mixed.get() {
             self.spec.mixed_rw_efficiency
@@ -113,9 +129,12 @@ impl SimTier {
             1.0
         };
         let factor = self.shared.load_factor.get() * eff;
-        self.read_link.set_capacity_bps(self.spec.read_bps * factor);
-        self.write_link
-            .set_capacity_bps(self.spec.write_bps * factor);
+        self.read_link.set_capacity_bps(
+            self.curve(self.spec.read_bps, self.shared.active_reads.get()) * factor,
+        );
+        self.write_link.set_capacity_bps(
+            self.curve(self.spec.write_bps, self.shared.active_writes.get()) * factor,
+        );
     }
 
     /// Reads `bytes` from the tier (latency + bandwidth share).
@@ -356,6 +375,49 @@ mod tests {
         sim.run();
         let end = r.try_take().unwrap();
         assert!((0.9..1.3).contains(&end), "got {end}");
+    }
+
+    #[test]
+    fn object_store_bandwidth_follows_the_concurrency_curve() {
+        use crate::spec::object_store;
+        // One stream runs at the per-stream cap, not the aggregate.
+        let sim = Sim::new();
+        let tier = SimTier::new(&sim, &object_store());
+        let spec = object_store();
+        let t = tier.clone();
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            t.write(400_000_000).await; // 0.4 GB at 0.4 GB/s/stream → 1 s
+            s.now()
+        });
+        approx(to_secs(end), 1.0 + spec.op_latency_s, 1e-3);
+
+        // Sixteen parallel streams saturate the 5 GB/s aggregate: 16 ×
+        // 0.4 GB at min(5, 16·0.4) = 5 GB/s → 1.28 s, far better than the
+        // 16 s a per-stream serial drain would take.
+        let sim = Sim::new();
+        let tier = SimTier::new(&sim, &object_store());
+        for _ in 0..16 {
+            let t = tier.clone();
+            sim.spawn(async move { t.write(400_000_000).await });
+        }
+        sim.run();
+        let aggregate = 16.0 * 0.4e9 / (sim.now_secs() - spec.op_latency_s);
+        approx(aggregate / 1e9, 5.0, 0.1);
+    }
+
+    #[test]
+    fn per_stream_cap_zero_leaves_single_stream_at_aggregate() {
+        // The default (0.0) spec keeps the original flat-aggregate model.
+        let sim = Sim::new();
+        let tier = SimTier::new(&sim, &testbed1_nvme());
+        let t = tier.clone();
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            t.read(6_900_000_000).await;
+            s.now()
+        });
+        approx(to_secs(end), 1.0 + 100e-6, 1e-4);
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub struct TierSpec {
     pub mixed_rw_efficiency: f64,
     /// Fixed per-operation latency in seconds (submission + seek).
     pub op_latency_s: f64,
+    /// Per-stream bandwidth cap in bytes/second; `0.0` (the default)
+    /// means a single stream can saturate the link. Object stores are the
+    /// motivating case: one GET/PUT stream moves a small fraction of the
+    /// aggregate, so effective bandwidth follows the concurrency-
+    /// efficiency curve `min(aggregate, streams × per_stream)` — modelled
+    /// by [`crate::sim_tier::SimTier`] from the live stream counts.
+    #[serde(default)]
+    pub per_stream_bps: f64,
 }
 
 impl TierSpec {
@@ -80,6 +88,7 @@ pub fn testbed1_nvme() -> TierSpec {
         capacity_bytes: 3 * TIB, // 2× 1.6 TB RAID
         mixed_rw_efficiency: 0.43,
         op_latency_s: 100e-6,
+        per_stream_bps: 0.0,
     }
 }
 
@@ -93,6 +102,7 @@ pub fn testbed1_pfs() -> TierSpec {
         capacity_bytes: 1024 * TIB, // 1 PB
         mixed_rw_efficiency: 0.75,
         op_latency_s: 500e-6,
+        per_stream_bps: 0.0,
     }
 }
 
@@ -107,6 +117,7 @@ pub fn testbed2_nvme() -> TierSpec {
         capacity_bytes: 3 * TIB,
         mixed_rw_efficiency: 0.43,
         op_latency_s: 100e-6,
+        per_stream_bps: 0.0,
     }
 }
 
@@ -121,6 +132,27 @@ pub fn testbed2_pfs() -> TierSpec {
         capacity_bytes: 100 * 1024 * TIB, // 100 PB
         mixed_rw_efficiency: 0.75,
         op_latency_s: 500e-6,
+        per_stream_bps: 0.0,
+    }
+}
+
+/// An S3-like object store as the slowest, widest rung of the hierarchy:
+/// high per-request latency and a per-stream cap far below the aggregate,
+/// so bandwidth must be earned through concurrency (the defining
+/// object-store curve, emulated on the functional path by
+/// [`crate::object::ObjectBackend`]). Reads and writes take separate
+/// server paths, so the mixed-I/O penalty is mild. Capacity is
+/// effectively unbounded.
+pub fn object_store() -> TierSpec {
+    TierSpec {
+        name: "object".into(),
+        kind: TierKind::ObjectStore,
+        read_bps: 5.0 * GBPS,
+        write_bps: 5.0 * GBPS,
+        capacity_bytes: 1024 * 1024 * TIB, // 1 EB
+        mixed_rw_efficiency: 0.9,
+        op_latency_s: 30e-3,
+        per_stream_bps: 0.4 * GBPS,
     }
 }
 
@@ -137,6 +169,7 @@ pub fn cxl_pool() -> TierSpec {
         capacity_bytes: TIB, // 1 TB pooled expansion
         mixed_rw_efficiency: 1.0,
         op_latency_s: 2e-6,
+        per_stream_bps: 0.0,
     }
 }
 
@@ -183,6 +216,22 @@ mod tests {
         assert!(TierKind::Nvme.is_persistent());
         assert!(!TierKind::Nvme.is_shared());
         assert!(TierKind::Pfs.is_shared());
+        assert!(TierKind::ObjectStore.is_persistent());
+        assert!(TierKind::ObjectStore.is_shared());
+    }
+
+    #[test]
+    fn object_store_is_latency_bound_and_stream_capped() {
+        let o = object_store();
+        assert_eq!(o.kind, TierKind::ObjectStore);
+        // Orders of magnitude above disk latencies; far below aggregate
+        // bandwidth per stream (the concurrency-efficiency curve).
+        assert!(o.op_latency_s >= 10.0 * testbed1_pfs().op_latency_s);
+        assert!(o.per_stream_bps > 0.0 && o.per_stream_bps < o.read_bps / 10.0);
+        // Older serialized specs (no per_stream_bps field) stay loadable:
+        // the field carries `#[serde(default)]`, and 0.0 means "single
+        // stream saturates", i.e. the pre-object flat-aggregate model.
+        assert_eq!(testbed1_pfs().per_stream_bps, 0.0);
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum Phase {
     /// `tier` is the destination; the source is recoverable from the
     /// paired `AioRead`/`AioDelete` events.
     Migrate,
+    /// One subgroup of a checkpoint flushed to the fast durable tier
+    /// (span). Overlaps the next backward pass when the checkpoint
+    /// pipeline runs asynchronously.
+    CkptFlush,
+    /// One checkpointed subgroup trickled from the fast durable tier to
+    /// the object store (span): the slow second hop of the multi-tier
+    /// checkpoint pipeline, fully off the critical path.
+    CkptTrickle,
 }
 
 /// All phases, in a fixed order (used by exporters and tests).
@@ -97,6 +105,8 @@ pub const ALL_PHASES: &[Phase] = &[
     Phase::TierWrite,
     Phase::Replan,
     Phase::Migrate,
+    Phase::CkptFlush,
+    Phase::CkptTrickle,
 ];
 
 impl Phase {
@@ -124,6 +134,8 @@ impl Phase {
             Phase::TierWrite => "tier_write",
             Phase::Replan => "replan",
             Phase::Migrate => "migrate",
+            Phase::CkptFlush => "ckpt_flush",
+            Phase::CkptTrickle => "ckpt_trickle",
         }
     }
 
@@ -139,9 +151,12 @@ impl Phase {
             Phase::GradFetch | Phase::Fetch | Phase::AioRead | Phase::TierRead => {
                 Some(IoDirection::Read)
             }
-            Phase::GradFlush | Phase::Flush | Phase::AioWrite | Phase::TierWrite => {
-                Some(IoDirection::Write)
-            }
+            Phase::GradFlush
+            | Phase::Flush
+            | Phase::AioWrite
+            | Phase::TierWrite
+            | Phase::CkptFlush
+            | Phase::CkptTrickle => Some(IoDirection::Write),
             _ => None,
         }
     }
@@ -274,6 +289,8 @@ mod tests {
         assert_eq!(Phase::Flush.direction(), Some(IoDirection::Write));
         assert_eq!(Phase::GradFetch.direction(), Some(IoDirection::Read));
         assert_eq!(Phase::GradFlush.direction(), Some(IoDirection::Write));
+        assert_eq!(Phase::CkptFlush.direction(), Some(IoDirection::Write));
+        assert_eq!(Phase::CkptTrickle.direction(), Some(IoDirection::Write));
         assert_eq!(Phase::Backward.direction(), None);
         assert_eq!(Phase::PoolAcquire.direction(), None);
     }

@@ -14,6 +14,7 @@ use mlp_model::config::OPTIM_STATE_BYTES_PER_PARAM;
 use mlp_model::memory::{MemoryEstimate, MemoryInputs};
 use mlp_model::shard::{ShardLayout, DEFAULT_SUBGROUP_PARAMS};
 use mlp_model::ModelConfig;
+use mlp_offload::checkpoint::CheckpointStats;
 use mlp_offload::sim::engine::virtual_ns;
 use mlp_offload::sim::{NodeSimEnv, NodeSpec, SimWorker};
 use mlp_offload::stats::{BackwardStats, IterationBreakdown, TierDistribution, UpdateStats};
@@ -53,6 +54,13 @@ pub struct TrainSetup {
     pub cache_safety_factor: f64,
     /// Microbatch size per rank (paper default 1).
     pub microbatch: u64,
+    /// Checkpoint every N iterations (0 = never). The checkpoint flushes
+    /// host-resident state to the first persistent tier and trickles it to
+    /// the object-store tier when one is configured (two-hop pipeline).
+    pub checkpoint_every: usize,
+    /// Run checkpoints synchronously (blocking the iteration boundary —
+    /// the baseline) instead of overlapping them with the next backward.
+    pub checkpoint_sync: bool,
 }
 
 impl TrainSetup {
@@ -74,7 +82,17 @@ impl TrainSetup {
             subgroup_params: DEFAULT_SUBGROUP_PARAMS,
             cache_safety_factor: 0.5,
             microbatch: 1,
+            checkpoint_every: 0,
+            checkpoint_sync: false,
         }
+    }
+
+    /// Enables periodic checkpointing every `every` iterations,
+    /// asynchronous by default (set [`TrainSetup::checkpoint_sync`] for
+    /// the blocking baseline).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
     }
 
     /// Total GPUs across all nodes.
@@ -115,6 +133,9 @@ pub struct IterationResult {
     /// Virtual-time window `[start, end]` of the update phase (for the
     /// Fig. 5 timeline).
     pub update_window: (f64, f64),
+    /// Checkpoint byte accounting, when this iteration ended with one
+    /// (summed across node-0 workers).
+    pub checkpoint: Option<CheckpointStats>,
 }
 
 /// Runs the simulation and returns per-iteration results.
@@ -207,11 +228,29 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
     let iterations = setup.iterations;
     let accum = setup.grad_accum_steps;
     let trace = engine_cfg.trace.clone();
+    // Checkpoint routing: flush to the fastest persistent tier, trickle to
+    // the object store when the tier set has one.
+    let ckpt_every = setup.checkpoint_every;
+    let ckpt_sync = setup.checkpoint_sync;
+    let ckpt_fast = setup
+        .tiers
+        .iter()
+        .position(|t| t.kind.is_persistent());
+    let ckpt_object = setup
+        .tiers
+        .iter()
+        .position(|t| t.kind == mlp_storage::TierKind::ObjectStore);
+    if ckpt_every > 0 {
+        assert!(
+            ckpt_fast.is_some(),
+            "checkpointing needs at least one persistent tier"
+        );
+    }
     let sim2 = sim.clone();
     sim.block_on(async move {
         let sim = sim2;
         let mut out = Vec::with_capacity(iterations);
-        for _ in 0..iterations {
+        for it in 0..iterations {
             let i0 = sim.now_secs();
             let mut breakdown = IterationBreakdown::default();
             let mut backward = BackwardStats::default();
@@ -315,6 +354,44 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 }
             }
 
+            // Periodic checkpoint at the iteration boundary. Asynchronous
+            // mode submits the flush/trickle tasks and returns immediately:
+            // they settle at the next update phase's drain, overlapping the
+            // next backward pass (the Fig. 5 overlap applied to
+            // checkpointing). Synchronous mode blocks here — the baseline.
+            let mut checkpoint = None;
+            let c0 = sim.now_secs();
+            if ckpt_every > 0 && (it + 1) % ckpt_every == 0 {
+                let fast = ckpt_fast.expect("asserted above");
+                let handles: Vec<_> = workers
+                    .iter()
+                    .map(|w| {
+                        let w = w.clone();
+                        sim.spawn(async move {
+                            w.run_checkpoint(fast, ckpt_object, ckpt_sync).await
+                        })
+                    })
+                    .collect();
+                let mut agg = CheckpointStats::default();
+                for (i, h) in handles.into_iter().enumerate() {
+                    let s = h.await;
+                    if i < node0_workers {
+                        agg.copied_bytes += s.copied_bytes;
+                        agg.prestaged_bytes += s.prestaged_bytes;
+                    }
+                }
+                if trace.is_enabled() {
+                    trace.counter("ckpt.checkpoints").inc();
+                    trace.counter("ckpt.flush_bytes").add(agg.copied_bytes);
+                    trace.counter("ckpt.prestaged_bytes").add(agg.prestaged_bytes);
+                }
+                checkpoint = Some(agg);
+            }
+            // Synchronous checkpoints block here, so this lands on the
+            // critical path; asynchronous submission is near-free (its
+            // I/O settles during the next iteration's drain).
+            breakdown.checkpoint_s = sim.now_secs() - c0;
+
             if trace.is_enabled() {
                 trace.complete_span(
                     Phase::Iteration,
@@ -329,6 +406,7 @@ pub fn run(setup: &TrainSetup) -> Vec<IterationResult> {
                 backward,
                 distribution,
                 update_window: (u0, u1),
+                checkpoint,
             });
         }
         // Settle flushes still in flight under deferred-drain mode so the
@@ -517,6 +595,53 @@ mod tests {
         assert_eq!(results[0].update.cache_hits, 0);
         assert!(results[1].update.cache_hits > 0);
         assert!(results[1].breakdown.update_s < results[0].breakdown.update_s);
+    }
+
+    #[test]
+    fn periodic_async_checkpoints_overlap_backward() {
+        // NVMe + PFS + object store, checkpoint every iteration. In async
+        // mode the ckpt_flush spans must overlap a backward span on the
+        // timeline (the Fig. 5 overlap applied to checkpointing); the
+        // blocking baseline must keep them disjoint.
+        let tb = testbed1();
+        let run_mode = |sync: bool| {
+            let mut cfg = EngineConfig::mlp_offload();
+            let trace = mlp_trace::TraceSink::enabled();
+            cfg.trace = trace.clone();
+            let mut setup = quick_setup(
+                cfg,
+                vec![
+                    tb.nvme.clone(),
+                    tb.pfs.clone(),
+                    mlp_storage::spec::object_store(),
+                ],
+            )
+            .with_checkpoint_every(1);
+            setup.checkpoint_sync = sync;
+            let results = run(&setup);
+            for r in &results {
+                let c = r.checkpoint.expect("every iteration checkpoints");
+                assert!(c.copied_bytes + c.prestaged_bytes > 0);
+            }
+            let events = trace.events();
+            let flushes: Vec<_> = events
+                .iter()
+                .filter(|e| e.phase == Phase::CkptFlush)
+                .collect();
+            assert!(!flushes.is_empty(), "no ckpt_flush spans");
+            let overlapped = events.iter().filter(|e| e.phase == Phase::Backward).any(
+                |b| flushes.iter().any(|f| f.overlaps(b)),
+            );
+            let snap = trace.metrics_snapshot();
+            assert_eq!(
+                snap.counter("ckpt.checkpoints"),
+                Some(setup.iterations as u64)
+            );
+            assert!(snap.counter("ckpt.flush_bytes").unwrap_or(0) > 0);
+            overlapped
+        };
+        assert!(run_mode(false), "async checkpoint must overlap backward");
+        assert!(!run_mode(true), "sync checkpoint must stay off the backward");
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn host_memory_tier() -> TierSpec {
         capacity_bytes: u64::MAX,
         mixed_rw_efficiency: 1.0,
         op_latency_s: 1e-6,
+        per_stream_bps: 0.0,
     }
 }
 

@@ -8,6 +8,7 @@
 //! surface:
 //!
 //! * [`mlp_sim`] — discrete-event simulation kernel
+//! * [`mlp_trace`] — tracing, meters, and Chrome-trace export
 //! * [`mlp_tensor`] — mixed-precision tensor substrate
 //! * [`mlp_model`] — transformer model math and ZeRO-3 sharding
 //! * [`mlp_optim`] — CPU Adam optimizer with FP32 master state
@@ -24,5 +25,6 @@ pub use mlp_optim;
 pub use mlp_sim;
 pub use mlp_storage;
 pub use mlp_tensor;
+pub use mlp_trace;
 pub use mlp_train;
 pub use mlp_zero3;

@@ -4,11 +4,13 @@
 
 use std::sync::Arc;
 
+use mlp_offload_suite::mlp_offload::checkpoint::{CheckpointPipeline, SubgroupLocation};
 use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
 use mlp_offload_suite::mlp_offload::EngineConfig;
 use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
-use mlp_offload_suite::mlp_storage::{Backend, MemBackend};
+use mlp_offload_suite::mlp_storage::{Backend, MemBackend, ObjectBackend, ObjectConfig};
 use mlp_offload_suite::mlp_tensor::F16;
+use mlp_offload_suite::mlp_trace::TraceSink;
 
 const SUBGROUPS: usize = 6;
 const LEN: usize = 20;
@@ -136,6 +138,76 @@ fn prestaged_fraction_grows_with_smaller_cache() {
 
     assert!(s_small.prestaged_fraction() > s_big.prestaged_fraction());
     assert_eq!(s_big.prestaged_fraction(), 0.0);
+}
+
+#[test]
+fn kill_and_restore_resumes_from_nvme_plus_object_checkpoint() {
+    // The acceptance scenario for the asynchronous two-hop pipeline: a
+    // worker trains, checkpoints through NVMe staging into an emulated
+    // object store, dies, and a fresh process resumes bit-identically.
+    // The published checkpoint deliberately spans both durability
+    // domains: host-resident subgroups were trickled into the object
+    // store, tier-resident ones are pre-staged references into the
+    // shared NVMe/PFS tiers (§3.3).
+    let shared = tiers();
+    let cfg = EngineConfig::mlp_offload().with_host_frames(5);
+    let trace = TraceSink::enabled();
+    let object = Arc::new(ObjectBackend::with_config(
+        "s3",
+        ObjectConfig::deterministic(),
+    ));
+    let mut pipe = CheckpointPipeline::new(
+        Arc::new(MemBackend::new("nvme-staging")) as Arc<dyn Backend>,
+        Arc::clone(&object) as Arc<dyn Backend>,
+        trace.clone(),
+    );
+
+    // Uninterrupted twin: 6 iterations straight through.
+    let mut straight =
+        MlpFuncEngine::new(cfg.clone(), AdamConfig::default(), &tiers(), 0, states()).unwrap();
+    for it in 0..6 {
+        step(&mut straight, it);
+    }
+
+    // Interrupted run: 3 iterations, checkpoint, kill.
+    let mut engine =
+        MlpFuncEngine::new(cfg.clone(), AdamConfig::default(), &shared, 0, states()).unwrap();
+    for it in 0..3 {
+        step(&mut engine, it);
+    }
+    let pending = engine.start_checkpoint(&pipe, "it3").unwrap();
+    let (manifest, stats) = pipe.drain(pending).unwrap();
+    assert!(stats.copied_bytes > 0, "host-resident subgroups must copy");
+    assert!(stats.prestaged_bytes > 0, "tier residents must pre-stage");
+    let (target, prestaged): (usize, usize) = manifest.subgroups.iter().fold((0, 0), |(t, p), l| {
+        match l {
+            SubgroupLocation::Target { .. } => (t + 1, p),
+            SubgroupLocation::Prestaged { .. } => (t, p + 1),
+        }
+    });
+    assert!(target > 0 && prestaged > 0, "checkpoint must span both tiers");
+    assert!(object.object_count() > 0, "trickle must reach the object store");
+    // The kill: worker state is gone; only the shared tiers and the
+    // object store survive.
+    drop(engine);
+
+    let mut resumed = pipe
+        .restore(cfg, AdamConfig::default(), &shared, 0, "it3")
+        .unwrap();
+    assert_eq!(resumed.iterations_done(), 3);
+    for it in 3..6 {
+        step(&mut resumed, it);
+    }
+    assert_eq!(
+        resumed.master_params().unwrap(),
+        straight.master_params().unwrap(),
+        "resumed run must land on the identical master state"
+    );
+    // The pipeline's meters saw the whole story.
+    let m = trace.metrics_snapshot();
+    assert_eq!(m.counter("ckpt.checkpoints"), Some(1));
+    assert_eq!(m.counter("ckpt.restores"), Some(1));
+    assert!(m.counter("ckpt.trickle_bytes").unwrap_or(0) > 0);
 }
 
 #[test]

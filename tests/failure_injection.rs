@@ -18,7 +18,8 @@ use mlp_offload_suite::mlp_offload::func::{MlpFuncEngine, SharedTier};
 use mlp_offload_suite::mlp_offload::EngineConfig;
 use mlp_offload_suite::mlp_optim::{AdamConfig, SubgroupState};
 use mlp_offload_suite::mlp_storage::{
-    classify, Backend, ErrorClass, FaultConfig, FaultInjectBackend, MemBackend,
+    classify, Backend, ErrorClass, FaultConfig, FaultInjectBackend, MemBackend, ObjectBackend,
+    ObjectConfig,
 };
 use mlp_offload_suite::mlp_zero3::Zero3FuncEngine;
 
@@ -453,6 +454,87 @@ fn permanent_fault_on_one_tier_surfaces_typed_and_engine_redrives() {
     assert_eq!(
         engine.master_params().unwrap(),
         want.master_params().unwrap()
+    );
+}
+
+#[test]
+fn checkpoint_pipeline_absorbs_transient_object_store_faults() {
+    // 20% seeded transient faults on the object-store hop of the two-hop
+    // checkpoint pipeline: the object engine's retry layer must absorb
+    // them, so the published checkpoint — and the engine restored from
+    // it — stays bit-identical to a fault-free twin.
+    use mlp_offload_suite::mlp_offload::checkpoint::{CheckpointManifest, CheckpointPipeline};
+    use mlp_offload_suite::mlp_offload::func::SharedTier;
+    use mlp_offload_suite::mlp_trace::TraceSink;
+
+    let adam = AdamConfig::default();
+    let cfg = EngineConfig::mlp_offload().with_host_frames(5);
+    let tiers = || {
+        vec![
+            SharedTier::new(Arc::new(MemBackend::new("nvme")) as Arc<dyn Backend>, 2.0),
+            SharedTier::new(Arc::new(MemBackend::new("pfs")) as Arc<dyn Backend>, 1.0),
+        ]
+    };
+    let drive = |tiers: &[SharedTier]| {
+        let mut e = MlpFuncEngine::new(cfg.clone(), adam, tiers, 0, states(6, 16)).unwrap();
+        for _ in 0..3 {
+            e.accumulate_gradients(&grads(6, 16));
+            e.update().unwrap();
+        }
+        e
+    };
+
+    // Fault-free twin pipeline.
+    let clean_tiers = tiers();
+    let clean_engine = drive(&clean_tiers);
+    let clean_store = Arc::new(ObjectBackend::with_config(
+        "s3",
+        ObjectConfig::deterministic(),
+    ));
+    let mut clean_pipe = CheckpointPipeline::new(
+        Arc::new(MemBackend::new("stage")) as Arc<dyn Backend>,
+        Arc::clone(&clean_store) as Arc<dyn Backend>,
+        TraceSink::enabled(),
+    );
+    clean_pipe.checkpoint(&clean_engine, "t0").unwrap();
+
+    // Faulty pipeline: same training, 20% transient faults on the
+    // object hop, patient retry policy on that engine only.
+    let faulty_tiers = tiers();
+    let faulty_engine = drive(&faulty_tiers);
+    let inject = Arc::new(FaultInjectBackend::new(
+        Arc::new(ObjectBackend::with_config(
+            "s3",
+            ObjectConfig::deterministic(),
+        )) as Arc<dyn Backend>,
+        FaultConfig::transient(41, 0.2),
+    ));
+    let mut faulty_pipe = CheckpointPipeline::with_aio(
+        Arc::new(MemBackend::new("stage")) as Arc<dyn Backend>,
+        Arc::clone(&inject) as Arc<dyn Backend>,
+        TraceSink::enabled(),
+        AioConfig::default(),
+        AioConfig {
+            retry: test_retry(8),
+            ..AioConfig::default()
+        },
+    );
+    faulty_pipe.checkpoint(&faulty_engine, "t0").unwrap();
+    assert!(inject.counts().transient > 0, "injection must have fired");
+    assert!(faulty_pipe.io_retries() > 0, "retries must have moved");
+
+    // Bit-identical publication: the manifests match byte for byte.
+    let key = CheckpointManifest::manifest_key("t0", 0);
+    inject.set_armed(false); // the write path already proved its point
+    assert_eq!(inject.read(&key).unwrap(), clean_store.read(&key).unwrap());
+
+    // And the restored engine matches the fault-free twin exactly.
+    let restored = faulty_pipe
+        .restore(cfg.clone(), adam, &faulty_tiers, 0, "t0")
+        .unwrap();
+    assert_eq!(
+        restored.master_params().unwrap(),
+        clean_engine.master_params().unwrap()
     );
 }
 
