@@ -24,30 +24,46 @@ use mlp_sync::{Condvar, Mutex};
 /// the consumer's reads because both run under the slot's mutex; no
 /// additional fencing is required of callers.
 pub struct CompletionSlot<T> {
-    value: Mutex<Option<T>>,
+    value: Mutex<Slot<T>>,
     done: Condvar,
+}
+
+/// Guarded state: the pending value plus a *sticky* published flag. The
+/// flag (not `value.is_some()`) arbitrates first-publication-wins, so a
+/// publication that lands after the winner was already consumed still
+/// loses — the deadline watchdog and a late real completion race exactly
+/// this way, and both use the return of [`CompletionSlot::publish`] to
+/// decide who retires the op from the pending gauge.
+struct Slot<T> {
+    value: Option<T>,
+    published: bool,
 }
 
 impl<T> CompletionSlot<T> {
     /// Creates an empty slot.
     pub fn new() -> Self {
         CompletionSlot {
-            value: Mutex::new(None),
+            value: Mutex::new(Slot {
+                value: None,
+                published: false,
+            }),
             done: Condvar::new(),
         }
     }
 
     /// Publishes the result and wakes every waiter. The first publication
-    /// wins: a second one is dropped, so an unwind-path poisoner racing a
-    /// late success cannot overwrite the result a waiter is about to
-    /// consume. Returns whether this call was the winning publication.
+    /// wins — *ever*: a second one is dropped even if the first was
+    /// already consumed, so an unwind-path poisoner or deadline watchdog
+    /// racing a late success cannot overwrite or re-arm the result.
+    /// Returns whether this call was the winning publication.
     // lint:hot-root — completion hand-off, runs on every worker thread
     pub fn publish(&self, value: T) -> bool {
         let mut guard = self.value.lock();
-        if guard.is_some() {
+        if guard.published {
             return false;
         }
-        *guard = Some(value);
+        guard.value = Some(value);
+        guard.published = true;
         // Notify while still holding the lock: a waiter observing the
         // condvar must find the value already set (no lost wakeup window).
         self.done.notify_all();
@@ -62,16 +78,29 @@ impl<T> CompletionSlot<T> {
     pub fn take_blocking(&self) -> T {
         let mut guard = self.value.lock();
         loop {
-            match guard.take() {
+            match guard.value.take() {
                 Some(v) => return v,
                 None => self.done.wait(&mut guard),
             }
         }
     }
 
+    /// Blocks until *some* publication has landed, without consuming it.
+    /// The inline (`sync`) engine uses this under a configured deadline:
+    /// the op runs on a helper thread, and submission returns as soon as
+    /// either the real completion or the watchdog's timeout is published,
+    /// preserving "completion available when `submit` returns" without
+    /// hanging the submitter on a dead backend.
+    pub fn wait_published(&self) {
+        let mut guard = self.value.lock();
+        while !guard.published {
+            self.done.wait(&mut guard);
+        }
+    }
+
     /// Whether a value is currently published (and not yet consumed).
     pub fn is_set(&self) -> bool {
-        self.value.lock().is_some()
+        self.value.lock().value.is_some()
     }
 }
 
@@ -158,6 +187,32 @@ mod tests {
         assert!(slot.publish(1));
         assert!(!slot.publish(2));
         assert_eq!(slot.take_blocking(), 1);
+    }
+
+    /// A publication arriving after the winner was consumed must still
+    /// lose: the watchdog/late-completion race decides pending-gauge
+    /// retirement off this return value, and a "win" here would retire
+    /// the op twice.
+    #[test]
+    fn late_publication_after_consume_still_loses() {
+        let slot = CompletionSlot::new();
+        assert!(slot.publish(1));
+        assert_eq!(slot.take_blocking(), 1);
+        assert!(!slot.publish(2), "slot re-armed after consume");
+        assert!(!slot.is_set());
+    }
+
+    #[test]
+    fn wait_published_does_not_consume() {
+        let slot = Arc::new(CompletionSlot::new());
+        let s2 = Arc::clone(&slot);
+        let waiter = std::thread::spawn(move || s2.wait_published());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(slot.publish(9));
+        waiter.join().unwrap();
+        slot.wait_published(); // already published: returns immediately
+        assert_eq!(slot.take_blocking(), 9);
+        slot.wait_published(); // sticky: consumed but still published
     }
 
     #[test]

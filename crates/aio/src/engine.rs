@@ -20,10 +20,10 @@ use std::io;
 use std::time::Duration;
 
 use mlp_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use mlp_sync::{thread, Arc, Mutex};
+use mlp_sync::{Arc, Mutex};
 
 use mlp_storage::fault::is_transient;
-use mlp_storage::Backend;
+use mlp_storage::{wall_clock, Backend, Sleeper};
 use mlp_tensor::PooledBuffer;
 use mlp_trace::{Counter, Gauge, Phase, TraceSink};
 
@@ -78,9 +78,13 @@ impl RetryPolicy {
     }
 
     /// Runs `f` under this policy, bumping `retries` once per re-attempt.
+    /// Backoff delays go through the injected `sleeper`, so deterministic
+    /// fault suites substitute a recording fake and pay no wall-clock
+    /// time for injected retry storms.
     pub(crate) fn run<T>(
         &self,
         retries: &AtomicU64,
+        sleeper: &dyn Sleeper,
         mut f: impl FnMut() -> io::Result<T>,
     ) -> io::Result<T> {
         let mut attempt = 1u32;
@@ -90,7 +94,7 @@ impl RetryPolicy {
                 Err(e) if attempt < self.max_attempts && is_transient(&e) => {
                     // relaxed-ok: monotonic retry counter, read only for reporting
                     retries.fetch_add(1, Ordering::Relaxed);
-                    thread::sleep(self.backoff_for(attempt));
+                    sleeper.sleep(self.backoff_for(attempt));
                     attempt += 1;
                 }
                 Err(e) if attempt > 1 => {
@@ -155,6 +159,20 @@ pub struct AioConfig {
     /// timeline and the per-tier bandwidth summary can attribute I/O
     /// (`-1` = untiered, e.g. in unit tests).
     pub trace_tier: i32,
+    /// Per-operation deadline. When set, a watchdog thread supervises
+    /// every in-flight op and, on expiry, publishes a typed
+    /// [`io::ErrorKind::TimedOut`] error to the op's completion slot —
+    /// a hung backend becomes a prompt `Timeout` instead of a stuck
+    /// `wait_flush`, on every engine backend. The backend call itself
+    /// keeps running (there is no portable way to cancel it); its late
+    /// completion is counted ([`AioEngine::late_completions`]) and
+    /// dropped. `None` (the default) disables the watchdog entirely.
+    pub deadline: Option<Duration>,
+    /// The sleeper behind retry backoff delays. Production uses the wall
+    /// clock; deterministic fault suites inject a
+    /// [`mlp_storage::FakeSleeper`] so injected retry storms cost no
+    /// real time.
+    pub sleeper: Arc<dyn Sleeper>,
 }
 
 impl Default for AioConfig {
@@ -171,6 +189,8 @@ impl Default for AioConfig {
             retry: RetryPolicy::default(),
             trace: TraceSink::disabled(),
             trace_tier: -1,
+            deadline: None,
+            sleeper: wall_clock(),
         }
     }
 }
@@ -188,6 +208,8 @@ impl AioConfig {
             retry: RetryPolicy::default(),
             trace: TraceSink::disabled(),
             trace_tier: -1,
+            deadline: None,
+            sleeper: wall_clock(),
         }
     }
 }
@@ -373,6 +395,12 @@ pub(crate) struct Stats {
     pub(crate) write_bytes: AtomicU64,
     pub(crate) retries: AtomicU64,
     pub(crate) errors: AtomicU64,
+    /// Ops retired by the deadline watchdog with a typed `TimedOut`
+    /// error (also counted in `errors`).
+    pub(crate) timeouts: AtomicU64,
+    /// Real completions that arrived after the watchdog had already
+    /// timed the op out; their result is dropped.
+    pub(crate) late_completions: AtomicU64,
     pub(crate) busy_nanos: AtomicU64,
     /// Submitted-but-not-completed count with the `drain` barrier; see
     /// [`crate::completion::PendingGauge`] for the protocol.
@@ -390,6 +418,10 @@ pub(crate) struct TraceMeters {
     pub(crate) write_bytes: Counter,
     pub(crate) retries: Counter,
     pub(crate) errors: Counter,
+    /// Ops retired by the deadline watchdog with a typed `TimedOut`.
+    pub(crate) timeouts: Counter,
+    /// Real completions that lost the publish race to the watchdog.
+    pub(crate) late_completions: Counter,
     /// Batched io_uring submissions (`io_uring_enter` calls that pushed
     /// at least one SQE). Only the uring driver writes this, so model
     /// checking builds (which compile the raw engines out) see it dead.
@@ -418,6 +450,8 @@ impl TraceMeters {
             write_bytes: c("write_bytes"),
             retries: c("retries"),
             errors: c("errors"),
+            timeouts: c("timeouts"),
+            late_completions: c("late_completions"),
             batches: c("batches"),
             raw_ops: c("raw_ops"),
             fallback_ops: c("fallback_ops"),
@@ -439,6 +473,7 @@ impl TraceMeters {
 pub(crate) fn execute_op(
     backend: &dyn Backend,
     retry: &RetryPolicy,
+    sleeper: &dyn Sleeper,
     stats: &Stats,
     op_retries: &AtomicU64,
     state: &OpState,
@@ -447,7 +482,7 @@ pub(crate) fn execute_op(
 ) -> io::Result<OpOutput> {
     match kind {
         OpKind::Write(data) => {
-            match retry.run(op_retries, || backend.write(key, &data)) {
+            match retry.run(op_retries, sleeper, || backend.write(key, &data)) {
                 Ok(()) => {
                     // Release: paired with the Acquire in OpHandle::bytes,
                     // which may read this outside the completion mutex.
@@ -468,7 +503,7 @@ pub(crate) fn execute_op(
             }
         }
         OpKind::WritePooled(buf, len) => {
-            match retry.run(op_retries, || {
+            match retry.run(op_retries, sleeper, || {
                 // lint:allow(transitive-panic): window in-bounds — submit_write_pooled asserts len <= buffer
                 backend.write(key, &buf.buffer().as_bytes()[..len])
             }) {
@@ -489,7 +524,7 @@ pub(crate) fn execute_op(
             }
         }
         OpKind::Read => {
-            let data = retry.run(op_retries, || backend.read(key))?;
+            let data = retry.run(op_retries, sleeper, || backend.read(key))?;
             // Release: paired with the Acquire in OpHandle::bytes.
             state.bytes.store(data.len(), Ordering::Release);
             // relaxed-ok: monotonic stats counter, read only for reporting
@@ -504,7 +539,7 @@ pub(crate) fn execute_op(
             // A retried attempt overwrites whatever a failed partial read
             // left in the window; on error the buffer drops here and
             // recycles to its pool.
-            let n = retry.run(op_retries, || {
+            let n = retry.run(op_retries, sleeper, || {
                 // lint:allow(transitive-panic): window in-bounds — submit_read_pooled asserts len <= buffer
                 backend.read_into(key, &mut buf.buffer_mut().as_bytes_mut()[..len])
             })?;
@@ -517,7 +552,7 @@ pub(crate) fn execute_op(
             Ok(OpOutput::Pooled(buf, n))
         }
         OpKind::Delete => {
-            retry.run(op_retries, || backend.delete(key))?;
+            retry.run(op_retries, sleeper, || backend.delete(key))?;
             Ok(OpOutput::None)
         }
     }
@@ -535,6 +570,11 @@ pub struct AioEngine {
     backend_name: String,
     engine_name: &'static str,
     caps: EngineCaps,
+    /// Deadline supervisor, present iff [`AioConfig::deadline`] is set.
+    /// Declared (and therefore dropped) after `engine`, so in-flight ops
+    /// stranded by a hung backend still time out during engine teardown.
+    #[cfg(not(loom))]
+    watchdog: Option<crate::watchdog::Watchdog>,
 }
 
 impl AioEngine {
@@ -548,12 +588,18 @@ impl AioEngine {
         let kind = config.engine.resolve(&*shared.backend);
         let engine = crate::io_engine::build(kind, Arc::clone(&shared), &config);
         let caps = engine.caps();
+        #[cfg(not(loom))]
+        let watchdog = config
+            .deadline
+            .map(|d| crate::watchdog::Watchdog::spawn(Arc::clone(&shared), d));
         AioEngine {
             engine: Some(engine),
             shared,
             backend_name,
             engine_name: kind.name(),
             caps,
+            #[cfg(not(loom))]
+            watchdog,
         }
     }
 
@@ -576,6 +622,12 @@ impl AioEngine {
             kind,
             state: Arc::clone(&state),
         };
+        // Register with the watchdog *before* the engine sees the op, so
+        // even an inline engine's execution is already supervised.
+        #[cfg(not(loom))]
+        if let Some(wd) = &self.watchdog {
+            wd.register(key, &state);
+        }
         match self.engine.as_ref() {
             Some(engine) => engine.submit(op),
             // Unreachable through safe use (`engine` is `Some` until
@@ -677,6 +729,22 @@ impl AioEngine {
         self.shared.stats.errors.load(Ordering::Relaxed)
     }
 
+    /// Operations retired by the deadline watchdog with a typed
+    /// [`io::ErrorKind::TimedOut`] error (also counted in
+    /// [`AioEngine::op_errors`]). Always 0 when
+    /// [`AioConfig::deadline`] is `None`.
+    pub fn op_timeouts(&self) -> u64 {
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.shared.stats.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Completions that arrived after the watchdog had already timed
+    /// their op out; the late result is dropped.
+    pub fn late_completions(&self) -> u64 {
+        // relaxed-ok: monotonic stats counter, read only for reporting
+        self.shared.stats.late_completions.load(Ordering::Relaxed)
+    }
+
     /// Cumulative worker busy time in seconds (sums across workers,
     /// including retry backoff).
     pub fn busy_seconds(&self) -> f64 {
@@ -701,7 +769,10 @@ impl AioEngine {
 impl Drop for AioEngine {
     fn drop(&mut self) {
         // Dropping the engine backend closes its submission queue and
-        // joins its threads; already-submitted ops complete first.
+        // joins its threads; already-submitted ops complete first. The
+        // watchdog (when configured) outlives this join — its own Drop
+        // runs afterwards via field order — so ops stranded by a hung
+        // backend still surface as timeouts instead of wedging waiters.
         self.engine.take();
     }
 }
@@ -1179,6 +1250,74 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("panicked"), "{err}");
         assert_eq!(pool.outstanding(), 0, "buffer freed during unwind");
+    }
+
+    /// Satellite fix: retry backoff used to `thread::sleep` wall-clock
+    /// inside the workers even under deterministic fault tests. With an
+    /// injected fake sleeper, a policy whose backoffs sum to 30 virtual
+    /// seconds must complete in real milliseconds while still recording
+    /// every requested delay.
+    #[test]
+    fn retry_backoff_routes_through_injected_sleeper() {
+        use mlp_storage::FakeSleeper;
+        let sleeper = FakeSleeper::shared();
+        let e = AioEngine::new(
+            Arc::new(EventuallyBackend::new(2)) as Arc<dyn Backend>,
+            AioConfig {
+                workers: 1,
+                queue_depth: 8,
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_backoff: Duration::from_secs(10),
+                    backoff_multiplier: 2.0,
+                    max_backoff: Duration::from_secs(60),
+                },
+                sleeper: sleeper.clone(),
+                ..AioConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        e.submit_write("k", vec![5u8; 16]).wait().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "backoff slept wall-clock: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(e.retries(), 2);
+        assert_eq!(sleeper.sleeps(), 2, "one backoff per re-attempt");
+        // 10 s after the first failure, 20 s after the second.
+        assert_eq!(sleeper.total_slept(), Duration::from_secs(30));
+    }
+
+    /// The inline engine cannot block the *submitter* on a hung backend:
+    /// under a deadline, submission is bounded by the watchdog's typed
+    /// timeout even though the backend call stalls far longer.
+    #[test]
+    fn sync_engine_submission_is_bounded_by_the_deadline() {
+        use mlp_storage::{FaultConfig, FaultInjectBackend};
+        let fault = Arc::new(FaultInjectBackend::new(
+            Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>,
+            FaultConfig::none(7).with_latency_spikes(1.0, Duration::from_millis(400)),
+        ));
+        let e = AioEngine::new(
+            fault as Arc<dyn Backend>,
+            AioConfig {
+                engine: EngineKind::Sync,
+                deadline: Some(Duration::from_millis(20)),
+                retry: RetryPolicy::none(),
+                ..AioConfig::deterministic()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let h = e.submit_write("k", vec![1u8; 8]);
+        assert!(
+            t0.elapsed() < Duration::from_millis(300),
+            "sync submit hung past the deadline: {:?}",
+            t0.elapsed()
+        );
+        let err = h.wait().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert_eq!(e.op_timeouts(), 1);
     }
 
     #[test]

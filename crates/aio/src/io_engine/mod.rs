@@ -131,12 +131,35 @@ impl EngineKind {
     /// Whether this kind can actually run on this host (compile-time
     /// support *and* runtime probe). `Auto` is always available — it
     /// resolves to something that is. Engine-matrix tests use this for
-    /// graceful skip-and-report on hosts without io_uring.
+    /// graceful skip-and-report on hosts without io_uring; use
+    /// [`EngineKind::availability`] when the *reason* matters
+    /// (unsupported host vs. broken probe).
     pub fn is_available(self) -> bool {
+        matches!(self.availability(), EngineAvailability::Available)
+    }
+
+    /// Why this kind can or cannot run here. `Unsupported` is a
+    /// legitimate host limitation (non-unix target, feature compiled
+    /// out, kernel or seccomp policy denying `io_uring_setup`) that
+    /// engine-matrix tests skip loudly; `Broken` means the engine
+    /// *should* work but its probe failed for an unexpected reason, and
+    /// [`for_each_engine!`](crate::for_each_engine) fails the test run
+    /// instead of silently passing on a hollow matrix.
+    pub fn availability(self) -> EngineAvailability {
         match self {
-            EngineKind::Auto | EngineKind::Pool | EngineKind::Sync => true,
-            EngineKind::Mmap => cfg!(all(unix, not(loom))),
-            EngineKind::Uring => uring_runtime_available(),
+            EngineKind::Auto | EngineKind::Pool | EngineKind::Sync => {
+                EngineAvailability::Available
+            }
+            EngineKind::Mmap => {
+                if cfg!(all(unix, not(loom))) {
+                    EngineAvailability::Available
+                } else {
+                    EngineAvailability::Unsupported(
+                        "mmap engine requires a unix target (non-loom build)".to_string(),
+                    )
+                }
+            }
+            EngineKind::Uring => uring_availability(),
         }
     }
 
@@ -254,19 +277,53 @@ pub fn capability_matrix() -> String {
     out
 }
 
-/// Whether io_uring actually works here: feature compiled in, supported
-/// target, and the kernel accepting a probe `io_uring_setup` (cached
-/// process-wide; containers and seccomp policies commonly deny the
-/// syscall even on new kernels, so compile-time checks are not enough).
+/// Whether an engine can run on this host, and if not, whether that is
+/// a legitimate host limitation or a bug. See
+/// [`EngineKind::availability`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineAvailability {
+    /// The engine runs here.
+    Available,
+    /// This host/target cannot run the engine for an *expected* reason
+    /// (feature compiled out, non-unix target, kernel or seccomp policy
+    /// denying the syscall): engine-matrix tests skip it loudly.
+    Unsupported(String),
+    /// The engine should run here but its availability probe failed for
+    /// an unexpected reason: engine-matrix tests fail instead of
+    /// silently shrinking the matrix.
+    Broken(String),
+}
+
+/// io_uring availability with the probe's failure reason: feature
+/// compiled in, supported target, and the kernel accepting a probe
+/// `io_uring_setup` (cached process-wide; containers and seccomp
+/// policies commonly deny the syscall even on new kernels, so
+/// compile-time checks are not enough). `ENOSYS`/`EPERM`/`EACCES` are
+/// the expected denial shapes; anything else is reported as broken.
 #[cfg(all(
     target_os = "linux",
     feature = "uring",
     any(target_arch = "x86_64", target_arch = "aarch64"),
     not(loom)
 ))]
-fn uring_runtime_available() -> bool {
-    static PROBE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *PROBE.get_or_init(sys::uring_probe)
+fn uring_availability() -> EngineAvailability {
+    static PROBE: std::sync::OnceLock<EngineAvailability> = std::sync::OnceLock::new();
+    PROBE
+        .get_or_init(|| match sys::uring_probe_result() {
+            Ok(()) => EngineAvailability::Available,
+            Err(e) => match e.raw_os_error() {
+                // EPERM (1), EACCES (13), ENOSYS (38): the kernel or the
+                // container's seccomp policy denies io_uring — a host
+                // limitation, not a bug.
+                Some(1) | Some(13) | Some(38) => EngineAvailability::Unsupported(format!(
+                    "io_uring_setup denied by kernel/policy: {e}"
+                )),
+                _ => EngineAvailability::Broken(format!(
+                    "io_uring probe failed for a non-capability reason: {e}"
+                )),
+            },
+        })
+        .clone()
 }
 
 #[cfg(not(all(
@@ -275,8 +332,11 @@ fn uring_runtime_available() -> bool {
     any(target_arch = "x86_64", target_arch = "aarch64"),
     not(loom)
 )))]
-fn uring_runtime_available() -> bool {
-    false
+fn uring_availability() -> EngineAvailability {
+    EngineAvailability::Unsupported(
+        "io_uring support not compiled in (feature `uring`, linux x86_64/aarch64, non-loom)"
+            .to_string(),
+    )
 }
 
 /// An engine backend: executes [`Op`]s and completes them through
@@ -304,6 +364,11 @@ pub(crate) struct EngineShared {
     pub(crate) meters: TraceMeters,
     pub(crate) trace: TraceSink,
     pub(crate) trace_tier: i32,
+    /// Per-op deadline enforced by the watchdog (`None` = unsupervised).
+    pub(crate) deadline: Option<std::time::Duration>,
+    /// Injected delay source for retry backoff (see
+    /// [`mlp_storage::Sleeper`]); the wall clock in production.
+    pub(crate) sleeper: Arc<dyn mlp_storage::Sleeper>,
 }
 
 impl EngineShared {
@@ -316,6 +381,8 @@ impl EngineShared {
             meters,
             trace: config.trace.clone(),
             trace_tier: config.trace_tier,
+            deadline: config.deadline,
+            sleeper: Arc::clone(&config.sleeper),
         }
     }
 
@@ -339,6 +406,7 @@ impl EngineShared {
             execute_op(
                 &*self.backend,
                 &self.retry,
+                &*self.sleeper,
                 &self.stats,
                 &op_retries,
                 &state,
@@ -416,11 +484,51 @@ impl EngineShared {
                 self.meters.errors.inc();
             }
         }
-        // Publish, *then* retire from the pending gauge.
-        state.result.publish(result);
-        self.stats.pending.dec();
-        if self.trace.is_enabled() {
-            self.meters.inflight.set(self.stats.pending.current() as u64);
+        // Publish, *then* retire from the pending gauge — and only if
+        // this publication won: the deadline watchdog may have already
+        // timed the op out (publishing `TimedOut` and retiring it), in
+        // which case this late real completion is counted and dropped
+        // rather than retiring the op a second time.
+        if state.result.publish(result) {
+            self.stats.pending.dec();
+            if self.trace.is_enabled() {
+                self.meters.inflight.set(self.stats.pending.current() as u64);
+            }
+        } else {
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.late_completions.fetch_add(1, Ordering::Relaxed);
+            if self.trace.is_enabled() {
+                self.meters.late_completions.inc();
+            }
+        }
+    }
+
+    /// Retires an op whose deadline expired: publishes a typed
+    /// [`io::ErrorKind::TimedOut`] error and, if that publication won
+    /// (the real completion has not landed), removes the op from the
+    /// pending gauge so `drain` cannot hang on a dead backend. Called
+    /// only by the watchdog thread.
+    #[cfg(not(loom))]
+    pub(crate) fn time_out(&self, key: &str, state: &OpState) {
+        let err = io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "aio op on {key} exceeded its {:?} deadline (backend {} unresponsive)",
+                self.deadline.unwrap_or_default(),
+                self.backend.name(),
+            ),
+        );
+        if state.result.publish(Err(err)) {
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            // relaxed-ok: monotonic stats counter, read only for reporting
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            self.stats.pending.dec();
+            if self.trace.is_enabled() {
+                self.meters.timeouts.inc();
+                self.meters.errors.inc();
+                self.meters.inflight.set(self.stats.pending.current() as u64);
+            }
         }
     }
 
@@ -459,11 +567,12 @@ impl EngineShared {
     pub(crate) fn reject(&self, op: Op) {
         // relaxed-ok: monotonic stats counter, read only for reporting
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
-        op.state.result.publish(Err(io::Error::other(format!(
+        if op.state.result.publish(Err(io::Error::other(format!(
             "submission queue closed before {} was enqueued",
             op.key
-        ))));
-        self.stats.pending.dec();
+        )))) {
+            self.stats.pending.dec();
+        }
     }
 
     /// Counts one raw-path op degraded to the portable backend call.
@@ -536,11 +645,14 @@ pub(crate) fn build(
     }
 }
 
-/// Runs a block once per *available* engine kind, reporting (not
-/// failing) the kinds this host cannot run — the engine-matrix pattern
-/// the fault/round-trip suites use so one test body covers `pool`,
-/// `sync`, `mmap`, and `uring`, and CI on kernels without io_uring
-/// skips it loudly instead of going red.
+/// Runs a block once per *available* engine kind — the engine-matrix
+/// pattern the fault/round-trip suites use so one test body covers
+/// `pool`, `sync`, `mmap`, and `uring`. Kinds this host legitimately
+/// cannot run ([`EngineAvailability::Unsupported`]: no io_uring kernel,
+/// seccomp denial, non-unix target) are skipped *loudly*; a kind whose
+/// probe failed for a non-capability reason
+/// ([`EngineAvailability::Broken`]) panics instead, so CI goes red on a
+/// hollow matrix rather than silently passing with the engine untested.
 ///
 /// ```
 /// use mlp_aio::{for_each_engine, AioConfig};
@@ -555,16 +667,26 @@ pub(crate) fn build(
 macro_rules! for_each_engine {
     (|$kind:ident| $body:block) => {
         for $kind in $crate::io_engine::EngineKind::all() {
-            if !$kind.is_available() {
-                // lint:allow(trace-sink): test-harness skip report, expands
-                // only inside test bodies, never on the I/O path
-                eprintln!(
-                    "engine-matrix: SKIP {} (unavailable on this host)",
-                    $kind.name()
-                );
-                continue;
+            match $kind.availability() {
+                $crate::io_engine::EngineAvailability::Available => $body,
+                $crate::io_engine::EngineAvailability::Unsupported(reason) => {
+                    // lint:allow(trace-sink): test-harness skip report, expands
+                    // only inside test bodies, never on the I/O path
+                    eprintln!(
+                        "engine-matrix: SKIP {} (unsupported on this host: {reason})",
+                        $kind.name()
+                    );
+                }
+                $crate::io_engine::EngineAvailability::Broken(reason) => {
+                    // lint:allow(hot-path-panic): test-harness failure,
+                    // expands only inside test bodies
+                    panic!(
+                        "engine-matrix: {} failed its availability probe for a \
+                         non-capability reason (refusing to skip): {reason}",
+                        $kind.name()
+                    );
+                }
             }
-            $body
         }
     };
 }
@@ -627,6 +749,27 @@ mod tests {
         assert!(EngineKind::Pool.is_available());
         assert!(EngineKind::Sync.is_available());
         assert!(EngineKind::Auto.is_available());
+    }
+
+    /// Satellite fix: "cannot run here" must carry its reason, so the
+    /// engine-matrix macro can skip host limitations loudly but fail on
+    /// an engine that is broken rather than unsupported.
+    #[test]
+    fn availability_distinguishes_unsupported_from_broken() {
+        assert_eq!(
+            EngineKind::Pool.availability(),
+            EngineAvailability::Available
+        );
+        match EngineKind::Uring.availability() {
+            EngineAvailability::Available => assert!(EngineKind::Uring.is_available()),
+            EngineAvailability::Unsupported(reason) => {
+                assert!(!EngineKind::Uring.is_available());
+                assert!(!reason.is_empty(), "skip reason must be reportable");
+            }
+            EngineAvailability::Broken(reason) => {
+                panic!("uring probe failed for a non-capability reason: {reason}")
+            }
+        }
     }
 
     #[test]

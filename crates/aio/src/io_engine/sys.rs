@@ -157,7 +157,7 @@ fn file_fd(file: &File) -> c_int {
     feature = "uring",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
-pub(crate) use self::uring::{probe as uring_probe, Ring};
+pub(crate) use self::uring::{probe_result as uring_probe_result, Ring};
 
 #[cfg(all(
     target_os = "linux",
@@ -679,9 +679,12 @@ mod uring {
     /// Whether this kernel accepts io_uring at all: a 2-entry probe ring
     /// that is immediately torn down. Containers commonly deny syscall
     /// 425 via seccomp even on new kernels, so this is a runtime check,
-    /// not a version check.
-    pub(crate) fn probe() -> bool {
-        Ring::new(2, DIRECT_IO_ALIGN, false).is_ok()
+    /// not a version check. Returns the failure itself (not a bool) so
+    /// availability reporting can distinguish "this kernel/policy denies
+    /// io_uring" (a skip) from an unexpected setup failure (a bug worth
+    /// failing CI over).
+    pub(crate) fn probe_result() -> io::Result<()> {
+        Ring::new(2, DIRECT_IO_ALIGN, false).map(|_| ())
     }
 
     #[cfg(test)]
@@ -699,7 +702,7 @@ mod uring {
 
         #[test]
         fn ring_round_trips_a_read_and_a_write_when_available() {
-            if !super::probe() {
+            if super::probe_result().is_err() {
                 eprintln!("engine-matrix: SKIP uring ring test (no io_uring)");
                 return;
             }

@@ -20,7 +20,13 @@
 //! * [`engine::RetryPolicy`] — bounded exponential-backoff retry of
 //!   transient backend errors, executed inside the I/O workers; panicking
 //!   backends poison the op's completion handle instead of hanging
-//!   waiters.
+//!   waiters. Backoff delays run on an injected
+//!   [`mlp_storage::Sleeper`], so deterministic fault suites pay no
+//!   wall-clock time.
+//! * Deadline watchdog ([`engine::AioConfig::deadline`]) — a supervisor
+//!   thread that turns a hung backend into a typed
+//!   [`std::io::ErrorKind::TimedOut`] completion within the deadline on
+//!   every engine backend, instead of a stuck `wait_flush`/`drain`.
 //! * [`lock::ProcessExclusiveLock`] — the paper's "process-exclusive
 //!   multi-thread-shared locking mechanism": all I/O threads of one worker
 //!   process share the tier while other worker processes are excluded
@@ -35,8 +41,10 @@ pub mod completion;
 pub mod engine;
 pub mod io_engine;
 pub mod lock;
+#[cfg(not(loom))]
+mod watchdog;
 
 pub use completion::{CompletionSlot, PendingGauge};
 pub use engine::{AioConfig, AioEngine, OpHandle, ReclaimedWrite, RetryPolicy};
-pub use io_engine::{capability_matrix, EngineCaps, EngineKind};
+pub use io_engine::{capability_matrix, EngineAvailability, EngineCaps, EngineKind};
 pub use lock::ProcessExclusiveLock;

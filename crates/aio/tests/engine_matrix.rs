@@ -310,3 +310,86 @@ fn pinned_engine_reports_its_kind_or_falls_back_visibly() {
         assert_eq!(engine.capabilities().engine, name);
     });
 }
+
+/// Tentpole: a hung backend (latency fault far beyond the deadline)
+/// surfaces as a typed `TimedOut` within the configured deadline on
+/// every engine — not as a stuck `wait_flush`/`drain`. The injected
+/// stall is 600 ms; the deadline 25 ms; the waiter must unblock in well
+/// under the stall. The stalled call eventually returns and must be
+/// counted as a *late completion*, never retiring the op twice.
+#[test]
+fn hung_backend_surfaces_typed_timeout_on_every_engine() {
+    for_each_engine!(|kind| {
+        let fault = Arc::new(FaultInjectBackend::new(
+            Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>,
+            FaultConfig::none(42).with_latency_spikes(1.0, Duration::from_millis(600)),
+        ));
+        let engine = AioEngine::new(
+            Arc::clone(&fault) as Arc<dyn Backend>,
+            AioConfig {
+                deadline: Some(Duration::from_millis(25)),
+                retry: RetryPolicy::none(),
+                ..config_for(kind)
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let (err, _payload) = engine
+            .submit_write("k", vec![7u8; 64])
+            .wait_flush()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{kind}: {err}");
+        assert!(
+            mlp_storage::is_transient(&err),
+            "{kind}: a deadline timeout must classify transient"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "{kind}: waiter blocked past the deadline ({:?})",
+            t0.elapsed()
+        );
+        // The watchdog retired the op from the pending gauge, so drain
+        // must return promptly instead of wedging on the stalled call.
+        engine.drain();
+        assert_eq!(engine.pending_ops(), 0, "{kind}: pending after timeout");
+        assert_eq!(engine.op_timeouts(), 1, "{kind}");
+        assert_eq!(engine.op_errors(), 1, "{kind}");
+        // The stalled call eventually finishes; its publication loses
+        // the first-wins race and is counted as late, exactly once.
+        let t1 = std::time::Instant::now();
+        while engine.late_completions() == 0 && t1.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.late_completions(), 1, "{kind}: late completion lost");
+        // The engine stays serviceable once the tier behaves again.
+        fault.set_armed(false);
+        engine.submit_write("k2", vec![1u8; 8]).wait().unwrap();
+        assert_eq!(engine.op_timeouts(), 1, "{kind}: healthy op timed out");
+    });
+}
+
+/// Deadline sanity: fast ops under a generous deadline never trip the
+/// watchdog, and behaviour matches the unsupervised engine bit for bit.
+#[test]
+fn deadline_never_fires_for_fast_ops_on_any_engine() {
+    for_each_engine!(|kind| {
+        let backend = Arc::new(MemBackend::new("mem")) as Arc<dyn Backend>;
+        let engine = AioEngine::new(
+            backend,
+            AioConfig {
+                deadline: Some(Duration::from_millis(750)),
+                ..config_for(kind)
+            },
+        );
+        for i in 0..32 {
+            engine.submit_write(&format!("k{i}"), vec![i as u8; 128]);
+        }
+        engine.drain();
+        for i in 0..32 {
+            let back = engine.submit_read(&format!("k{i}")).wait().unwrap().unwrap();
+            assert_eq!(back, vec![i as u8; 128], "{kind}");
+        }
+        assert_eq!(engine.op_timeouts(), 0, "{kind}: spurious timeout");
+        assert_eq!(engine.late_completions(), 0, "{kind}");
+        assert_eq!(engine.op_errors(), 0, "{kind}");
+    });
+}

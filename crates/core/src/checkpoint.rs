@@ -19,7 +19,7 @@ use std::io;
 use std::sync::Arc;
 
 use mlp_aio::engine::{AioConfig, AioEngine, OpHandle};
-use mlp_storage::{Backend, TierSpec};
+use mlp_storage::{Backend, TierHealth, TierSpec};
 use mlp_trace::{Attrs, Counter, Phase, TraceSink};
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +96,8 @@ impl CheckpointManifest {
     /// Parses the `mlpckpt v1` wire format written by
     /// [`CheckpointManifest::to_bytes`]. Corruption surfaces as a typed
     /// `InvalidData` error, never a panic.
+    // lint:hot-root — manifest parser runs on every restore; arbitrary
+    // on-disk bytes must surface typed errors, never a panic
     pub fn from_bytes(bytes: &[u8]) -> std::io::Result<CheckpointManifest> {
         use std::io::{Error, ErrorKind};
         let bad = |msg: &str| Error::new(ErrorKind::InvalidData, format!("bad manifest: {msg}"));
@@ -229,6 +231,36 @@ struct UploadedSubgroup {
     key: String,
 }
 
+/// A deterministic kill point inside [`CheckpointPipeline::drain`]: the
+/// pipeline returns a typed error at exactly this boundary, simulating a
+/// process death between stages. The crash-consistency harness walks
+/// every point and asserts the invariant of DESIGN.md §14 — a crash
+/// before the publish leaves the previous checkpoint fully restorable, a
+/// crash after it leaves the new one committed, and there is no point at
+/// which neither restores or a torn manifest is readable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die before settling the staging flushes (stage 1 entry).
+    BeforeFlushSettle,
+    /// Die after the flushes settled, before the trickle (stage 1→2).
+    AfterFlushSettle,
+    /// Die after the trickle, before verification (stage 2→3).
+    AfterTrickle,
+    /// Die after verification, before the manifest PUT (stage 3→4).
+    AfterVerify,
+    /// Die right after the commit point, before pruning (stage 4→5).
+    AfterPublish,
+}
+
+/// Every kill point, in pipeline order (the harness's matrix axis).
+pub const ALL_CRASH_POINTS: &[CrashPoint] = &[
+    CrashPoint::BeforeFlushSettle,
+    CrashPoint::AfterFlushSettle,
+    CrashPoint::AfterTrickle,
+    CrashPoint::AfterVerify,
+    CrashPoint::AfterPublish,
+];
+
 /// One subgroup of a checkpoint whose flush stage may still be in flight.
 pub(crate) enum PendingEntry {
     /// Host-resident state flushing to the staging tier.
@@ -316,6 +348,13 @@ pub struct CheckpointPipeline {
     trace: TraceSink,
     uploaded: HashMap<usize, UploadedSubgroup>,
     last_tag: Option<String>,
+    /// Breaker supervising the staging tier. When it quarantines, the
+    /// pipeline retargets: flushes go direct-to-object (losing the fast
+    /// first hop, keeping durability) and trickle reads fall back to
+    /// wherever each staged copy actually landed.
+    staging_health: Option<Arc<TierHealth>>,
+    /// Deterministic kill point for the crash-consistency harness.
+    crash_point: Option<CrashPoint>,
     flush_bytes: Counter,
     trickle_bytes: Counter,
     prestaged_bytes: Counter,
@@ -353,6 +392,8 @@ impl CheckpointPipeline {
             object_backend: object,
             uploaded: HashMap::new(),
             last_tag: None,
+            staging_health: None,
+            crash_point: None,
             flush_bytes: trace.counter("ckpt.flush_bytes"),
             trickle_bytes: trace.counter("ckpt.trickle_bytes"),
             prestaged_bytes: trace.counter("ckpt.prestaged_bytes"),
@@ -369,6 +410,35 @@ impl CheckpointPipeline {
         &self.object_backend
     }
 
+    /// Attaches a breaker supervising the staging tier: once it
+    /// quarantines, new flushes bypass staging and write direct-to-object.
+    pub fn with_staging_health(mut self, health: Arc<TierHealth>) -> Self {
+        self.staging_health = Some(health);
+        self
+    }
+
+    /// Arms (or disarms) the deterministic kill point: the next `drain`
+    /// returns a typed error at that boundary instead of proceeding.
+    pub fn set_crash_point(&mut self, point: Option<CrashPoint>) {
+        self.crash_point = point;
+    }
+
+    fn crash_if(&self, point: CrashPoint) -> io::Result<()> {
+        if self.crash_point == Some(point) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected crash at {point:?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn staging_quarantined(&self) -> bool {
+        self.staging_health
+            .as_ref()
+            .is_some_and(|h| h.is_quarantined())
+    }
+
     /// If subgroup `idx`'s object upload is still current at `step`,
     /// returns its key (and counts the incremental skip).
     pub(crate) fn reusable_upload(&self, idx: usize, step: u64) -> Option<String> {
@@ -379,9 +449,16 @@ impl CheckpointPipeline {
         })
     }
 
-    /// Submits one staging write (stage 1 of the pipeline).
+    /// Submits one staging write (stage 1 of the pipeline). With the
+    /// staging tier quarantined the flush retargets direct-to-object
+    /// under the same key: slower, still durable, and stage 2 finds the
+    /// copy already at its destination.
     pub(crate) fn submit_flush(&self, key: &str, data: Vec<u8>) -> OpHandle {
-        self.staging.submit_write(key, data)
+        if self.staging_quarantined() {
+            self.object.submit_write(key, data)
+        } else {
+            self.staging.submit_write(key, data)
+        }
     }
 
     /// Settles a pending checkpoint: waits for the staging flushes,
@@ -402,6 +479,7 @@ impl CheckpointPipeline {
             started_ns,
         } = pending;
 
+        self.crash_if(CrashPoint::BeforeFlushSettle)?;
         // Stage 1: settle the staging flushes.
         let mut staged: Vec<(usize, String, u64)> = Vec::new();
         let mut locations: Vec<(usize, SubgroupLocation)> = Vec::new();
@@ -431,13 +509,22 @@ impl CheckpointPipeline {
             self.trace
                 .complete_span(Phase::CkptFlush, Attrs::bytes(flushed_bytes), started_ns, flush_end);
         }
+        self.crash_if(CrashPoint::AfterFlushSettle)?;
 
         // Stage 2: trickle staging → object store, all hops in flight at
         // once (the object engine's workers provide the concurrency an
-        // object store needs to reach aggregate bandwidth).
+        // object store needs to reach aggregate bandwidth). A retargeted
+        // flush (staging quarantined mid-checkpoint) already landed on
+        // the object store under its staging key, so each copy is read
+        // back from wherever it actually is.
         let mut trickles = Vec::with_capacity(staged.len());
         for (idx, staging_key, bytes) in &staged {
-            let body = self.staging.submit_read(staging_key).wait()?.ok_or_else(|| {
+            let hop = if self.object_backend.contains(staging_key) {
+                &self.object
+            } else {
+                &self.staging
+            };
+            let body = hop.submit_read(staging_key).wait()?.ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("staged checkpoint object {staging_key} returned no payload"),
@@ -463,6 +550,7 @@ impl CheckpointPipeline {
                 self.trace.now_ns(),
             );
         }
+        self.crash_if(CrashPoint::AfterTrickle)?;
 
         // Stage 3: verify — every object the manifest references must be
         // readable before we commit to it.
@@ -476,6 +564,7 @@ impl CheckpointPipeline {
                 }
             }
         }
+        self.crash_if(CrashPoint::AfterVerify)?;
 
         // Stage 4: publish — one atomic manifest PUT is the commit point.
         locations.sort_by_key(|(idx, _)| *idx);
@@ -493,12 +582,16 @@ impl CheckpointPipeline {
             )
             .wait_flush()
             .map_err(|(e, _)| e)?;
+        self.crash_if(CrashPoint::AfterPublish)?;
 
-        // Stage 5: prune — staging copies, superseded subgroup objects,
-        // and the previous manifest. Failures here are non-fatal (the new
-        // checkpoint is already committed); deletes are idempotent.
+        // Stage 5: prune — staging copies (from whichever store holds
+        // them — a retargeted flush staged on the object store),
+        // superseded subgroup objects, and the previous manifest.
+        // Failures here are non-fatal (the new checkpoint is already
+        // committed); deletes are idempotent.
         for (_, staging_key, _) in &staged {
             let _ = self.staging_backend.delete(staging_key);
+            let _ = self.object_backend.delete(staging_key);
         }
         for (idx, key) in fresh {
             if let Some(old) = self.uploaded.insert(idx, UploadedSubgroup { step, key: key.clone() }) {
@@ -634,6 +727,94 @@ mod tests {
         ] {
             let err = CheckpointManifest::from_bytes(bad).unwrap_err();
             assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{bad:?}");
+        }
+    }
+
+    mod manifest_fuzz {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// A valid serialized manifest with `n` subgroup lines, some
+        /// prestaged, keys derived from `salt`.
+        fn wire(n: usize, salt: usize) -> Vec<u8> {
+            CheckpointManifest {
+                tag: format!("t{salt}"),
+                worker_id: salt % 7,
+                step: salt as u64,
+                iter: (salt / 2) as u64,
+                subgroups: (0..n)
+                    .map(|i| {
+                        if (i + salt) % 3 == 0 {
+                            SubgroupLocation::Prestaged {
+                                tier: (i + salt) % 4,
+                                key: format!("w{}/sub{i}", salt % 7),
+                            }
+                        } else {
+                            SubgroupLocation::Target {
+                                key: format!("ckpt/t{salt}/w{}/sub{i}", salt % 7),
+                            }
+                        }
+                    })
+                    .collect(),
+            }
+            .to_bytes()
+        }
+
+        /// Helper: the parser contract under corruption — it may reject
+        /// (typed `InvalidData`, never a panic) or parse some manifest,
+        /// but it must never tear.
+        fn assert_typed(bytes: &[u8]) {
+            if let Err(e) = CheckpointManifest::from_bytes(bytes) {
+                assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{bytes:?}");
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn truncation_never_panics(
+                n in 0usize..12,
+                salt in 0usize..64,
+                cut in 0usize..4096,
+            ) {
+                let full = wire(n, salt);
+                let cut = cut % full.len().max(1);
+                assert_typed(&full[..cut]);
+            }
+
+            #[test]
+            fn bit_flips_never_panic(
+                n in 0usize..12,
+                salt in 0usize..64,
+                flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..6),
+            ) {
+                let mut bytes = wire(n, salt);
+                for (pos, bit) in flips {
+                    let pos = pos % bytes.len();
+                    bytes[pos] ^= 1 << bit;
+                }
+                assert_typed(&bytes);
+            }
+
+            #[test]
+            fn duplicated_and_dropped_lines_never_panic(
+                n in 1usize..12,
+                salt in 0usize..64,
+                line in 0usize..24,
+                duplicate in proptest::bool::ANY,
+            ) {
+                let full = wire(n, salt);
+                let text = String::from_utf8(full).unwrap();
+                let mut lines: Vec<&str> = text.lines().collect();
+                let line = line % lines.len();
+                if duplicate {
+                    lines.insert(line, lines[line]);
+                } else {
+                    lines.remove(line);
+                }
+                let mut mutated = lines.join("\n");
+                mutated.push('\n');
+                assert_typed(mutated.as_bytes());
+            }
         }
     }
 
@@ -805,6 +986,147 @@ mod tests {
             let snap = trace.metrics_snapshot();
             assert!(snap.counter("ckpt.trickle_bytes").unwrap() > trickled_once);
             assert!(snap.counter("ckpt.pruned_objects").unwrap() > 0);
+        }
+
+        #[test]
+        fn quarantined_staging_retargets_flushes_direct_to_object() {
+            use mlp_storage::{HealthConfig, TierHealth};
+            let trace = TraceSink::enabled();
+            let shared = tiers(2);
+            let cfg = EngineConfig::mlp_offload().with_host_frames(10);
+            let mut engine = MlpFuncEngine::new(
+                cfg.clone(),
+                AdamConfig::default(),
+                &shared,
+                0,
+                states(5, 24),
+            )
+            .unwrap();
+            step(&mut engine, 5, 24, 0.0);
+
+            let staging = Arc::new(MemBackend::new("stage"));
+            let object = Arc::new(MemBackend::new("object"));
+            let health = TierHealth::new("stage", HealthConfig::hair_trigger());
+            let mut pipe = CheckpointPipeline::new(
+                Arc::clone(&staging) as Arc<dyn Backend>,
+                Arc::clone(&object) as Arc<dyn Backend>,
+                trace.clone(),
+            )
+            .with_staging_health(Arc::clone(&health));
+            pipe.checkpoint(&engine, "c0").unwrap();
+
+            // The staging tier dies between checkpoints: flushes retarget
+            // direct-to-object, the checkpoint still commits, and the dead
+            // tier sees no new writes at all.
+            health.quarantine();
+            let staging_objects = staging.object_count();
+            step(&mut engine, 5, 24, 1.0);
+            let (m1, _) = pipe.checkpoint(&engine, "c1").unwrap();
+            assert_eq!(m1.subgroups.len(), 5);
+            assert_eq!(
+                staging.object_count(),
+                staging_objects,
+                "quarantined staging tier must not be written"
+            );
+            // The retargeted staging copies were pruned off the object
+            // store after the commit.
+            for idx in 0..5 {
+                assert!(
+                    !object.contains(&format!("ckptstage/c1/w0/sub{idx}")),
+                    "retargeted staging copy {idx} not pruned"
+                );
+            }
+            let restored = pipe
+                .restore(cfg, AdamConfig::default(), &shared, 0, "c1")
+                .unwrap();
+            assert_eq!(
+                restored.master_params().unwrap(),
+                engine.master_params().unwrap()
+            );
+        }
+
+        #[test]
+        fn every_crash_point_leaves_a_restorable_checkpoint() {
+            for &cp in ALL_CRASH_POINTS {
+                let trace = TraceSink::disabled();
+                let shared = tiers(2);
+                // host_frames 10 ≫ 5 subgroups: everything stays
+                // host-resident, so both checkpoints are fully copied
+                // (no prestaged references that a later update phase
+                // would invalidate — the harness needs c0 to stay
+                // restorable after training moves on).
+                let cfg = EngineConfig::mlp_offload().with_host_frames(10);
+                let mut engine = MlpFuncEngine::new(
+                    cfg.clone(),
+                    AdamConfig::default(),
+                    &shared,
+                    0,
+                    states(5, 24),
+                )
+                .unwrap();
+                step(&mut engine, 5, 24, 0.0);
+
+                let staging = Arc::new(MemBackend::new("stage"));
+                let object = Arc::new(MemBackend::new("object"));
+                let mut pipe = CheckpointPipeline::new(
+                    Arc::clone(&staging) as Arc<dyn Backend>,
+                    Arc::clone(&object) as Arc<dyn Backend>,
+                    trace.clone(),
+                );
+                pipe.checkpoint(&engine, "c0").unwrap();
+                let at_c0 = engine.master_params().unwrap();
+
+                step(&mut engine, 5, 24, 1.0);
+                let at_c1 = engine.master_params().unwrap();
+                let pending = engine.start_checkpoint(&pipe, "c1").unwrap();
+                pipe.set_crash_point(Some(cp));
+                let err = pipe.drain(pending).unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::Interrupted, "{cp:?}");
+
+                // Simulated restart: a fresh pipeline over the same
+                // stores. The commit point is the manifest PUT — c1 is
+                // visible iff the crash came after it.
+                let pipe2 = CheckpointPipeline::new(
+                    Arc::clone(&staging) as Arc<dyn Backend>,
+                    Arc::clone(&object) as Arc<dyn Backend>,
+                    trace.clone(),
+                );
+                let c1_published = object.contains(&CheckpointManifest::manifest_key("c1", 0));
+                assert_eq!(
+                    c1_published,
+                    cp == CrashPoint::AfterPublish,
+                    "{cp:?}: the commit point moved"
+                );
+                // No torn manifests: whatever manifest exists parses.
+                for tag in ["c0", "c1"] {
+                    let key = CheckpointManifest::manifest_key(tag, 0);
+                    if object.contains(&key) {
+                        CheckpointManifest::from_bytes(&object.read(&key).unwrap())
+                            .unwrap_or_else(|e| panic!("{cp:?}: torn manifest {tag}: {e}"));
+                    }
+                }
+                let (tag, want) = if c1_published {
+                    ("c1", &at_c1)
+                } else {
+                    ("c0", &at_c0)
+                };
+                let restored = pipe2
+                    .restore(cfg.clone(), AdamConfig::default(), &shared, 0, tag)
+                    .unwrap();
+                assert_eq!(
+                    &restored.master_params().unwrap(),
+                    want,
+                    "{cp:?}: restore of {tag} diverged"
+                );
+                // A crash after the commit leaves the *previous*
+                // checkpoint intact too (prune never ran).
+                if c1_published {
+                    let prev = pipe2
+                        .restore(cfg.clone(), AdamConfig::default(), &shared, 0, "c0")
+                        .unwrap();
+                    assert_eq!(prev.master_params().unwrap(), at_c0, "{cp:?}");
+                }
+            }
         }
     }
 }

@@ -9,14 +9,14 @@ use mlp_aio::EngineKind;
 use mlp_aio::lock::ProcessExclusiveLock;
 use mlp_optim::optimizer::{fp16_grad_sq_norm, grad_clip_factor, OptimizerConfig};
 use mlp_optim::{SubgroupState, SubgroupStateMut};
-use mlp_storage::{Backend, TracedBackend};
+use mlp_storage::{Backend, HealthGatedBackend, TierHealth, TracedBackend};
 use mlp_tensor::convert;
 use mlp_tensor::pool::{PinnedPool, PooledBuffer};
 use mlp_trace::{Attrs, Phase};
 
 use crate::checkpoint::{CheckpointManifest, CheckpointStats, SubgroupLocation};
 use crate::config::EngineConfig;
-use crate::policy::allocation::{allocate_counts, assign_subgroups};
+use crate::policy::allocation::{allocate_counts_excluding, assign_subgroups};
 use crate::policy::cache::FramePlan;
 use crate::policy::replan::AdaptivePlanner;
 use crate::stats::TierDistribution;
@@ -44,6 +44,11 @@ pub struct SharedTier {
     /// I/O engine configuration for this tier (worker count, queue depth,
     /// transient-error retry policy).
     pub aio: AioConfig,
+    /// Optional circuit breaker supervising the tier. When set, every
+    /// data op is routed through the breaker gate, completed ops feed it
+    /// back, and a quarantined breaker triggers quarantine-and-drain at
+    /// the next update boundary (DESIGN.md §15).
+    pub health: Option<Arc<TierHealth>>,
 }
 
 impl SharedTier {
@@ -55,6 +60,7 @@ impl SharedTier {
             lock: ProcessExclusiveLock::new(),
             weight,
             aio: AioConfig::default(),
+            health: None,
         }
     }
 
@@ -62,6 +68,12 @@ impl SharedTier {
     /// [`mlp_aio::engine::RetryPolicy`] for a flaky tier).
     pub fn with_aio(mut self, aio: AioConfig) -> Self {
         self.aio = aio;
+        self
+    }
+
+    /// Attaches a circuit breaker supervising this tier.
+    pub fn with_health(mut self, health: Arc<TierHealth>) -> Self {
+        self.health = Some(health);
         self
     }
 }
@@ -102,6 +114,12 @@ impl Resident {
 
 struct TierRt {
     engine: AioEngine,
+    /// The tier's backend *below* the health gate: the salvage path.
+    /// Quarantine-and-drain evacuates surviving copies through this even
+    /// though the gated engine refuses normal traffic (a write-dead tier
+    /// usually still serves reads).
+    raw: Arc<dyn Backend>,
+    health: Option<Arc<TierHealth>>,
     lock: ProcessExclusiveLock,
     weight: f64,
 }
@@ -172,6 +190,12 @@ pub struct MlpFuncEngine {
     io_snapshot: Vec<(u64, f64, u64)>,
     /// Durable-copy migrations executed so far.
     migrations_done: u64,
+    /// Tiers whose breaker has latched [`mlp_storage::BreakerState::Quarantined`]
+    /// and that the engine has excluded from placement (mirror of the
+    /// planner's exclusion mask, consulted on the flush path).
+    quarantined: Vec<bool>,
+    /// Durable copies evacuated off quarantined tiers so far.
+    drains_done: u64,
 }
 
 impl MlpFuncEngine {
@@ -207,7 +231,7 @@ impl MlpFuncEngine {
                 if aio.engine == EngineKind::Auto {
                     aio.engine = cfg.io_engine;
                 }
-                let backend: Arc<dyn Backend> = if trace.is_enabled() {
+                let raw: Arc<dyn Backend> = if trace.is_enabled() {
                     aio.trace = trace.clone();
                     aio.trace_tier = ti as i32;
                     Arc::new(TracedBackend::new(
@@ -218,8 +242,21 @@ impl MlpFuncEngine {
                 } else {
                     Arc::clone(&t.backend)
                 };
+                // The health gate sits above tracing and below the I/O
+                // engine: per-attempt accounting (a retry storm trips the
+                // breaker faster) and rejections that never touch the
+                // medium.
+                let gated: Arc<dyn Backend> = match &t.health {
+                    Some(h) => Arc::new(HealthGatedBackend::new(
+                        Arc::clone(&raw),
+                        Arc::clone(h),
+                    )),
+                    None => Arc::clone(&raw),
+                };
                 TierRt {
-                    engine: AioEngine::new(backend, aio),
+                    engine: AioEngine::new(gated, aio),
+                    raw,
+                    health: t.health.clone(),
                     lock: t.lock.clone(),
                     weight: t.weight,
                 }
@@ -268,6 +305,8 @@ impl MlpFuncEngine {
             planner,
             io_snapshot: vec![(0, 0.0, 0); ntiers],
             migrations_done: 0,
+            quarantined: vec![false; ntiers],
+            drains_done: 0,
         };
 
         // Initial population: synchronous writes (not part of any measured
@@ -361,6 +400,12 @@ impl MlpFuncEngine {
     /// accumulated; subgroups already updated are skipped), producing the
     /// exact result of an iteration that never failed.
     pub fn update(&mut self) -> io::Result<UpdateOutcome> {
+        // Quarantine-and-drain runs first, even ahead of a re-drive:
+        // evacuation moves bytes, it never mutates them, so a replayed
+        // iteration stays bit-identical — and the re-drive may *need*
+        // the evacuation, because the failed flush target is often the
+        // very tier that just got quarantined.
+        self.drain_quarantined()?;
         // Bounded durable-copy migration runs strictly at an iteration
         // boundary: only when starting a fresh iteration (a pending
         // re-drive must replay against unchanged placements to stay
@@ -380,8 +425,10 @@ impl MlpFuncEngine {
             None if self.cfg.adaptive_bandwidth => self.planner.estimates().to_vec(),
             None => self.tiers.iter().map(|t| t.weight).collect(),
         };
-        // Eq. 1 proportions; actual flush count depends on cache hits.
-        let flush_targets = allocate_counts(m.max(1), &weights);
+        // Eq. 1 proportions over the surviving tiers (a quarantined
+        // tier's target is 0, so the deficit picker never selects it);
+        // actual flush count depends on cache hits.
+        let flush_targets = allocate_counts_excluding(m.max(1), &weights, &self.quarantined);
 
         // Fresh iteration vs re-drive of a failed one: the step advances
         // once per iteration, and the resume bitmap records which
@@ -1112,6 +1159,109 @@ impl MlpFuncEngine {
         Ok(())
     }
 
+    /// Quarantine-and-drain (DESIGN.md §15): notices breakers that have
+    /// latched [`mlp_storage::BreakerState::Quarantined`] since the last
+    /// check, excludes those tiers from every future placement decision,
+    /// and evacuates their durable subgroup copies to the surviving
+    /// tiers — read the source copy through the *ungated* backend (the
+    /// breaker refuses normal traffic, but salvage reads go under it),
+    /// write the destination through its gated engine and wait, update
+    /// the placement, and only then best-effort-delete the source.
+    ///
+    /// Idempotent and resumable: a failure mid-drain leaves the
+    /// exclusion latched and the unmoved copies still pointing at the
+    /// quarantined tier, so the next call re-plans exactly the
+    /// remainder. With every tier quarantined there is no survivor to
+    /// drain to and training cannot continue: a typed error, not a
+    /// panic.
+    fn drain_quarantined(&mut self) -> io::Result<()> {
+        for t in 0..self.tiers.len() {
+            if !self.quarantined[t]
+                && self.tiers[t]
+                    .health
+                    .as_ref()
+                    .is_some_and(|h| h.is_quarantined())
+            {
+                self.quarantined[t] = true;
+                self.planner.exclude_tier(t);
+                if self.cfg.trace.is_enabled() {
+                    self.cfg.trace.instant(
+                        Phase::Quarantine,
+                        Attrs {
+                            tier: t as i32,
+                            ..Attrs::NONE
+                        },
+                        self.cfg.trace.now_ns(),
+                    );
+                }
+            }
+        }
+        if !self.quarantined.iter().any(|&q| q) {
+            return Ok(());
+        }
+        if self.planner.surviving_tiers() == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "every storage tier is quarantined; no surviving tier to drain to",
+            ));
+        }
+        let placements: Vec<Option<usize>> = self
+            .placement
+            .iter()
+            .map(|p| match p {
+                Placement::Tier(t) => Some(*t),
+                Placement::Host => None,
+            })
+            .collect();
+        for step in self.planner.plan_drain(&placements) {
+            let key = self.key(step.subgroup);
+            let started = self.cfg.trace.now_ns();
+            let data = {
+                let _g = self.tiers[step.from].lock.acquire(self.worker_id);
+                self.tiers[step.from].raw.read(&key)?
+            };
+            let bytes = data.len() as u64;
+            {
+                let _g = self.tiers[step.to].lock.acquire(self.worker_id);
+                self.tiers[step.to].engine.submit_write(&key, data).wait()?;
+            }
+            // The survivor copy is durable; the source sits on a dead
+            // tier and its deletion is purely cosmetic — best-effort.
+            self.placement[step.subgroup] = Placement::Tier(step.to);
+            {
+                let _g = self.tiers[step.from].lock.acquire(self.worker_id);
+                let _ = self.tiers[step.from].raw.delete(&key);
+            }
+            self.drains_done += 1;
+            if self.cfg.trace.is_enabled() {
+                self.cfg.trace.complete_span(
+                    Phase::Drain,
+                    Attrs {
+                        tier: step.to as i32,
+                        subgroup: step.subgroup as i64,
+                        bytes,
+                        ..Attrs::NONE
+                    },
+                    started,
+                    self.cfg.trace.now_ns(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Tier indices currently quarantined (excluded from placement).
+    pub fn quarantined_tiers(&self) -> Vec<usize> {
+        (0..self.quarantined.len())
+            .filter(|&t| self.quarantined[t])
+            .collect()
+    }
+
+    /// Durable copies evacuated off quarantined tiers so far.
+    pub fn drains_done(&self) -> u64 {
+        self.drains_done
+    }
+
     /// Live per-tier bandwidth estimates (bytes/second, or the
     /// construction-time weights until the first adaptive fold).
     pub fn bandwidth_estimates(&self) -> Vec<f64> {
@@ -1816,6 +1966,120 @@ mod tests {
                 "fused={fused}: master state diverged after re-drive"
             );
         }
+    }
+
+    #[test]
+    fn quarantined_tier_drains_and_training_completes_without_it() {
+        use mlp_storage::{
+            classify, ErrorClass, FaultConfig, FaultInjectBackend, FaultOps, HealthConfig,
+        };
+        let adam = AdamConfig::default();
+        for fused in [true, false] {
+            // Reference: the identical run over only the surviving tier.
+            // A small host cache keeps most durable copies on the tiers,
+            // so the dying tier actually holds state worth draining.
+            let mut cfg = EngineConfig::mlp_offload().with_host_frames(3);
+            cfg.fused_update = fused;
+            let mut reference =
+                MlpFuncEngine::new(cfg.clone(), adam, &tiers(1), 0, init_states(6, 24)).unwrap();
+
+            // Tier 0 dies for writes mid-run; reads keep working (the
+            // salvage path). Hair-trigger breaker: one post-retry
+            // failure latches quarantine.
+            let inject = Arc::new(FaultInjectBackend::new(
+                Arc::new(MemBackend::new("dying")) as Arc<dyn Backend>,
+                FaultConfig::permanent(11, 1.0).with_ops(FaultOps::WritesOnly),
+            ));
+            inject.set_armed(false);
+            let health = TierHealth::new("dying", HealthConfig::hair_trigger());
+            let victim = SharedTier::new(Arc::clone(&inject) as Arc<dyn Backend>, 2.0)
+                .with_health(Arc::clone(&health));
+            let survivor = SharedTier::new(
+                Arc::new(MemBackend::new("survivor")) as Arc<dyn Backend>,
+                1.0,
+            );
+            let mut engine =
+                MlpFuncEngine::new(cfg, adam, &[victim, survivor], 0, init_states(6, 24))
+                    .unwrap();
+
+            // Two clean iterations warm the cache and spread durable
+            // copies across both tiers; then the tier dies mid-run.
+            for it in 0..2 {
+                let grads = grads_for(6, 24, it as f32);
+                reference.accumulate_gradients(&grads);
+                reference.update().unwrap();
+                engine.accumulate_gradients(&grads);
+                engine.update().unwrap();
+            }
+            let grads = grads_for(6, 24, 2.0);
+            reference.accumulate_gradients(&grads);
+            reference.update().unwrap();
+            engine.accumulate_gradients(&grads);
+            inject.set_armed(true);
+            let err = engine.update().unwrap_err();
+            assert_eq!(classify(&err), ErrorClass::Permanent, "fused={fused}: {err}");
+            assert!(
+                health.is_quarantined(),
+                "fused={fused}: one write failure must latch the hair-trigger breaker"
+            );
+
+            // The re-drive notices the quarantine, evacuates every
+            // durable copy off the dead tier, and completes the same
+            // iteration — with the tier still failing every write.
+            engine.update().unwrap();
+            assert_eq!(engine.quarantined_tiers(), vec![0], "fused={fused}");
+            assert!(engine.drains_done() > 0, "fused={fused}: nothing was drained");
+
+            // Two more full iterations entirely without the tier.
+            for it in 3..5 {
+                let grads = grads_for(6, 24, it as f32);
+                reference.accumulate_gradients(&grads);
+                reference.update().unwrap();
+                engine.accumulate_gradients(&grads);
+                engine.update().unwrap();
+            }
+            assert!(
+                engine.placement.iter().all(|p| *p != Placement::Tier(0)),
+                "fused={fused}: a subgroup still lives on the quarantined tier"
+            );
+            assert_eq!(
+                engine.master_params().unwrap(),
+                reference.master_params().unwrap(),
+                "fused={fused}: degraded run diverged from the run without the tier"
+            );
+        }
+    }
+
+    #[test]
+    fn all_tiers_quarantined_surfaces_a_typed_error() {
+        use mlp_storage::{FaultConfig, FaultInjectBackend, HealthConfig};
+        let adam = AdamConfig::default();
+        let inject = Arc::new(FaultInjectBackend::new(
+            Arc::new(MemBackend::new("only")) as Arc<dyn Backend>,
+            FaultConfig::permanent(7, 1.0),
+        ));
+        inject.set_armed(false);
+        let health = TierHealth::new("only", HealthConfig::hair_trigger());
+        let tier = SharedTier::new(Arc::clone(&inject) as Arc<dyn Backend>, 1.0)
+            .with_health(Arc::clone(&health));
+        let mut engine = MlpFuncEngine::new(
+            EngineConfig::mlp_offload().with_host_frames(2),
+            adam,
+            &[tier],
+            0,
+            init_states(3, 8),
+        )
+        .unwrap();
+        engine.accumulate_gradients(&grads_for(3, 8, 0.0));
+        inject.set_armed(true);
+        // The iteration fails on the dead tier and the breaker latches.
+        assert!(engine.update().is_err());
+        assert!(health.is_quarantined());
+        // With no surviving tier to drain to, every subsequent update is
+        // a typed error — never a panic, never a hang.
+        let err = engine.update().unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        assert!(engine.update().is_err());
     }
 
     #[test]

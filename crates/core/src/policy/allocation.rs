@@ -46,6 +46,31 @@ pub fn allocate_counts(m: usize, bandwidths: &[f64]) -> Vec<usize> {
     counts
 }
 
+/// [`allocate_counts`] with tiers masked out: the split is computed over
+/// the surviving tiers only and mapped back to full-length counts, with
+/// excluded tiers pinned at 0. The quarantine-and-drain path uses this —
+/// a quarantined tier must receive no new placements, but its (stale)
+/// bandwidth estimate is still part of the estimator's tier-indexed
+/// state.
+///
+/// # Panics
+///
+/// Panics if every tier is excluded (callers surface "no surviving
+/// tiers" as a typed error before planning) or if a surviving tier's
+/// bandwidth is non-positive.
+pub fn allocate_counts_excluding(m: usize, bandwidths: &[f64], excluded: &[bool]) -> Vec<usize> {
+    assert_eq!(bandwidths.len(), excluded.len(), "mask/tier mismatch");
+    let survivors: Vec<usize> = (0..bandwidths.len()).filter(|&t| !excluded[t]).collect();
+    assert!(!survivors.is_empty(), "every tier is excluded");
+    let sub: Vec<f64> = survivors.iter().map(|&t| bandwidths[t]).collect();
+    let sub_counts = allocate_counts(m, &sub);
+    let mut counts = vec![0usize; bandwidths.len()];
+    for (&t, &c) in survivors.iter().zip(&sub_counts) {
+        counts[t] = c;
+    }
+    counts
+}
+
 /// Assigns each of `m` subgroups a tier index, interleaving tiers so
 /// consecutive subgroups use different I/O paths where possible (enabling
 /// the parallel multi-path fetches of Fig. 6). The per-tier totals equal
@@ -260,6 +285,29 @@ mod tests {
     #[test]
     fn zero_subgroups_allocates_zero() {
         assert_eq!(allocate_counts(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn excluded_tiers_receive_nothing_and_survivors_split_everything() {
+        // Middle tier quarantined: its 2.0 weight drops out entirely and
+        // the 3:1 survivor split covers all 8 subgroups.
+        let counts = allocate_counts_excluding(8, &[3.0, 2.0, 1.0], &[false, true, false]);
+        assert_eq!(counts, vec![6, 0, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        // No exclusions degenerates to the plain split.
+        assert_eq!(
+            allocate_counts_excluding(8, &[3.0, 1.0], &[false, false]),
+            allocate_counts(8, &[3.0, 1.0]),
+        );
+        // A dead tier's estimate may be garbage; it must not be inspected.
+        let counts = allocate_counts_excluding(4, &[1.0, f64::NAN], &[false, true]);
+        assert_eq!(counts, vec![4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every tier is excluded")]
+    fn all_excluded_panics() {
+        allocate_counts_excluding(4, &[1.0, 2.0], &[true, true]);
     }
 
     #[test]

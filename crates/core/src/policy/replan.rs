@@ -27,7 +27,7 @@
 
 use mlp_trace::{Counter, Gauge, TraceSink};
 
-use crate::policy::allocation::{allocate_counts, BandwidthEstimator};
+use crate::policy::allocation::{allocate_counts_excluding, BandwidthEstimator};
 
 /// One planned durable-copy move: subgroup `subgroup` relocates from tier
 /// `from` to tier `to`. The engine executes it as read(from) → write(to)
@@ -48,6 +48,7 @@ pub struct MigrationStep {
 struct PlannerMetrics {
     replans: Counter,
     migrations: Counter,
+    drains: Counter,
     estimates: Vec<Gauge>,
 }
 
@@ -56,6 +57,7 @@ impl PlannerMetrics {
         PlannerMetrics {
             replans: Counter::detached(),
             migrations: Counter::detached(),
+            drains: Counter::detached(),
             estimates: (0..ntiers).map(|_| Gauge::detached()).collect(),
         }
     }
@@ -71,6 +73,10 @@ pub struct AdaptivePlanner {
     metrics: PlannerMetrics,
     replans: u64,
     migrations_planned: u64,
+    /// Tiers removed from planning (quarantined breakers, DESIGN.md §15):
+    /// they receive no flush/migration placements and their durable
+    /// copies are evacuated by [`AdaptivePlanner::plan_drain`].
+    excluded: Vec<bool>,
 }
 
 impl std::fmt::Debug for AdaptivePlanner {
@@ -80,6 +86,7 @@ impl std::fmt::Debug for AdaptivePlanner {
             .field("max_migrations_per_iter", &self.max_migrations_per_iter)
             .field("replans", &self.replans)
             .field("migrations_planned", &self.migrations_planned)
+            .field("excluded", &self.excluded)
             .finish()
     }
 }
@@ -97,6 +104,7 @@ impl AdaptivePlanner {
             metrics: PlannerMetrics::detached(ntiers),
             replans: 0,
             migrations_planned: 0,
+            excluded: vec![false; ntiers],
         }
     }
 
@@ -111,6 +119,7 @@ impl AdaptivePlanner {
         self.metrics = PlannerMetrics {
             replans: trace.counter("planner.replans"),
             migrations: trace.counter("planner.migrations"),
+            drains: trace.counter("planner.drains"),
             estimates: (0..self.estimator.num_tiers())
                 .map(|t| trace.gauge(&format!("planner.estimate.{t}")))
                 .collect(),
@@ -146,6 +155,29 @@ impl AdaptivePlanner {
     /// Migration budget per iteration boundary.
     pub fn max_migrations_per_iter(&self) -> usize {
         self.max_migrations_per_iter
+    }
+
+    /// Removes `tier` from planning permanently: it is never again a
+    /// flush or migration destination, and [`AdaptivePlanner::plan_drain`]
+    /// evacuates whatever durable copies it still holds. Idempotent;
+    /// out-of-range indices are ignored. There is deliberately no
+    /// un-exclude — a quarantined breaker is latched (see
+    /// `mlp_storage::health`), and readmitting a tier whose copies were
+    /// drained would need a full re-balance, not a flag flip.
+    pub fn exclude_tier(&mut self, tier: usize) {
+        if let Some(e) = self.excluded.get_mut(tier) {
+            *e = true;
+        }
+    }
+
+    /// Per-tier exclusion mask (index-aligned with the tier set).
+    pub fn excluded(&self) -> &[bool] {
+        &self.excluded
+    }
+
+    /// Number of tiers still accepting placements.
+    pub fn surviving_tiers(&self) -> usize {
+        self.excluded.iter().filter(|&&e| !e).count()
     }
 
     /// Completed re-plans (estimator folds).
@@ -190,7 +222,7 @@ impl AdaptivePlanner {
     /// target or the budget is spent.
     pub fn plan_migrations(&mut self, placements: &[Option<usize>]) -> Vec<MigrationStep> {
         let ntiers = self.estimator.num_tiers();
-        if self.max_migrations_per_iter == 0 || ntiers < 2 {
+        if self.max_migrations_per_iter == 0 || ntiers < 2 || self.surviving_tiers() == 0 {
             return Vec::new();
         }
         let mut current: Vec<Option<usize>> = placements.to_vec();
@@ -204,11 +236,14 @@ impl AdaptivePlanner {
         if durable == 0 {
             return Vec::new();
         }
-        let targets = allocate_counts(durable, self.estimator.estimates());
+        let targets =
+            allocate_counts_excluding(durable, self.estimator.estimates(), &self.excluded);
         let mut steps = Vec::new();
         while steps.len() < self.max_migrations_per_iter {
             // Most over-full donor and most under-full receiver, ties
-            // toward the lower tier index.
+            // toward the lower tier index. Excluded tiers have target 0,
+            // so a straggler copy on one is always the top donor and an
+            // excluded tier is never a receiver.
             let donor = (0..ntiers)
                 .filter(|&t| counts[t] > targets[t])
                 .max_by(|&a, &b| (counts[a] - targets[a]).cmp(&(counts[b] - targets[b])).then(b.cmp(&a)));
@@ -234,11 +269,67 @@ impl AdaptivePlanner {
         self.metrics.migrations.add(steps.len() as u64);
         steps
     }
+
+    /// Plans the complete evacuation of every durable copy sitting on an
+    /// [excluded](AdaptivePlanner::exclude_tier) tier — the *drain* half
+    /// of quarantine-and-drain. Unlike [`AdaptivePlanner::plan_migrations`]
+    /// the plan is **unbounded**: a quarantined tier's copies must all
+    /// leave at this iteration boundary, because the next placement pass
+    /// assumes nothing lives there any more.
+    ///
+    /// Destinations follow the Eq. 1 split over the surviving tiers
+    /// (most-under-full first, index-order ties), so the drained copies
+    /// land where the next re-plan would have put them. `None` placements
+    /// (host-resident subgroups) are untouched, preserving the cache-hit
+    /// guarantee. Returns an empty plan when nothing is excluded, nothing
+    /// sits on an excluded tier, or no tier survives (the caller turns
+    /// "no survivors" into a typed error before training continues).
+    pub fn plan_drain(&mut self, placements: &[Option<usize>]) -> Vec<MigrationStep> {
+        let ntiers = self.estimator.num_tiers();
+        if !self.excluded.iter().any(|&e| e) || self.surviving_tiers() == 0 {
+            return Vec::new();
+        }
+        let mut counts = vec![0usize; ntiers];
+        for p in placements.iter().flatten() {
+            if *p < ntiers {
+                counts[*p] += 1;
+            }
+        }
+        let durable: usize = counts.iter().sum();
+        if durable == 0 {
+            return Vec::new();
+        }
+        let targets =
+            allocate_counts_excluding(durable, self.estimator.estimates(), &self.excluded);
+        let mut steps = Vec::new();
+        for (subgroup, p) in placements.iter().enumerate() {
+            let Some(from) = *p else { continue };
+            if from >= ntiers || !self.excluded[from] {
+                continue;
+            }
+            // Deepest-deficit survivor; once every target is met
+            // (rounding slack), least-loaded. Ties toward the lower index.
+            let Some(to) = (0..ntiers).filter(|&t| !self.excluded[t]).min_by(|&a, &b| {
+                let da = counts[a] as i64 - targets[a] as i64;
+                let db = counts[b] as i64 - targets[b] as i64;
+                da.cmp(&db).then(a.cmp(&b))
+            }) else {
+                break; // unreachable: surviving_tiers() > 0 above
+            };
+            counts[from] -= 1;
+            counts[to] += 1;
+            steps.push(MigrationStep { subgroup, from, to });
+        }
+        self.migrations_planned += steps.len() as u64;
+        self.metrics.drains.add(steps.len() as u64);
+        steps
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::allocation::allocate_counts;
     use proptest::prelude::*;
 
     fn planner(bw: Vec<f64>, max: usize) -> AdaptivePlanner {
@@ -281,6 +372,68 @@ mod tests {
         for s in &steps {
             assert!(placements[s.subgroup].is_some());
         }
+    }
+
+    #[test]
+    fn drain_evacuates_every_copy_on_the_excluded_tier() {
+        let mut p = planner(vec![2.0, 1.0, 1.0], 0); // budget irrelevant to drain
+        p.exclude_tier(1);
+        let placements = vec![Some(1), Some(0), None, Some(1), Some(2), Some(1)];
+        let steps = p.plan_drain(&placements);
+        assert_eq!(steps.len(), 3, "all three tier-1 copies must move");
+        for s in &steps {
+            assert_eq!(s.from, 1);
+            assert_ne!(s.to, 1, "excluded tier can never receive");
+        }
+        // Deterministic: same inputs, same plan.
+        let mut q = planner(vec![2.0, 1.0, 1.0], 0);
+        q.exclude_tier(1);
+        assert_eq!(q.plan_drain(&placements), steps);
+        // Destinations follow the survivor split (2:1 over tiers 0 and 2
+        // for 5 durable copies → targets [3, 0, 2]; tier 0 starts at 1,
+        // tier 2 at 1 → deficits 2 and 1 → two to tier 0, one to tier 2).
+        let to0 = steps.iter().filter(|s| s.to == 0).count();
+        let to2 = steps.iter().filter(|s| s.to == 2).count();
+        assert_eq!((to0, to2), (2, 1));
+    }
+
+    #[test]
+    fn drain_is_a_no_op_without_exclusions_or_survivors() {
+        let mut p = planner(vec![1.0, 1.0], 4);
+        let placements = vec![Some(0), Some(1)];
+        assert!(p.plan_drain(&placements).is_empty(), "nothing excluded");
+        p.exclude_tier(0);
+        p.exclude_tier(1);
+        assert!(p.plan_drain(&placements).is_empty(), "no survivors");
+        assert_eq!(p.surviving_tiers(), 0);
+    }
+
+    #[test]
+    fn migrations_never_target_an_excluded_tier() {
+        // Tier 1 is 10x "faster" by estimate but excluded: every planned
+        // move must land on tier 0 or 2 regardless.
+        let mut p = planner(vec![1.0, 10.0, 1.0], 16);
+        p.exclude_tier(1);
+        let placements: Vec<Option<usize>> = (0..9).map(|i| Some(i % 3)).collect();
+        let steps = p.plan_migrations(&placements);
+        assert!(!steps.is_empty(), "tier-1 copies must migrate out");
+        for s in &steps {
+            assert_eq!(s.from, 1, "only the excluded tier is over target");
+            assert_ne!(s.to, 1);
+        }
+    }
+
+    #[test]
+    fn drain_metrics_flow_through_the_sink() {
+        let trace = TraceSink::enabled();
+        let mut p = planner(vec![1.0, 1.0], 0);
+        p.attach_trace(&trace);
+        p.exclude_tier(1);
+        let steps = p.plan_drain(&[Some(1), Some(1), Some(0)]);
+        assert_eq!(steps.len(), 2);
+        let snap = trace.metrics_snapshot();
+        assert_eq!(snap.counter("planner.drains"), Some(2));
+        assert_eq!(p.migrations_planned(), 2);
     }
 
     #[test]

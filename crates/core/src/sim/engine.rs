@@ -27,7 +27,7 @@ use mlp_sim::sync::{MutexGuard, Notify, SemGuard, Semaphore};
 use mlp_trace::{Attrs, Phase};
 
 use crate::config::EngineConfig;
-use crate::policy::allocation::{allocate_counts, assign_subgroups};
+use crate::policy::allocation::{allocate_counts_excluding, assign_subgroups};
 use crate::policy::cache::FramePlan;
 use crate::policy::replan::AdaptivePlanner;
 use crate::sim::env::NodeSimEnv;
@@ -346,10 +346,13 @@ impl SimWorker {
         let iter = self.inner.state.borrow().iter;
         let order = self.inner.cfg.order.order(iter, m);
         let weights = self.allocation_weights();
-        // Eq. 1 proportions for flush placement. The number of flushes this
-        // iteration depends on cache hits, so targets are sized for the
-        // worst case; only the ratios drive the deficit rule.
-        let flush_targets = allocate_counts(m.max(1), &weights);
+        // Eq. 1 proportions for flush placement, over the surviving tiers
+        // (a quarantined tier's target is 0, so the deficit rule never
+        // selects it). The number of flushes this iteration depends on
+        // cache hits, so targets are sized for the worst case; only the
+        // ratios drive the deficit rule.
+        let excluded = self.inner.state.borrow().planner.excluded().to_vec();
+        let flush_targets = allocate_counts_excluding(m.max(1), &weights, &excluded);
         let mut flush_done = vec![0usize; ntiers];
 
         let stats = Rc::new(RefCell::new(UpdateStats {
@@ -702,6 +705,90 @@ impl SimWorker {
                 );
             }
         }
+    }
+
+    /// Marks `tier` permanently excluded from placement and evacuates
+    /// its durable subgroup copies to the surviving tiers in virtual
+    /// time — the simulated counterpart of the functional engine's
+    /// quarantine-and-drain (DESIGN.md §15). Every future flush split
+    /// and migration plan avoids the tier. Subgroups whose eviction
+    /// flush is still in flight are skipped; the update-boundary
+    /// migration pass relocates them afterwards (the planner's
+    /// exclusion makes the dead tier a pure donor).
+    ///
+    /// Returns the number of copies evacuated.
+    pub async fn quarantine_tier(&self, tier: usize) -> usize {
+        let sim = self.inner.env.sim.clone();
+        let steps = {
+            let mut st = self.inner.state.borrow_mut();
+            st.planner.exclude_tier(tier);
+            let flushing: Vec<usize> = st.flushing.keys().copied().collect();
+            let placements: Vec<Option<usize>> = st
+                .placement
+                .iter()
+                .enumerate()
+                .map(|(i, p)| match p {
+                    Placement::Tier(t) if !flushing.contains(&i) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            st.planner.plan_drain(&placements)
+        };
+        if self.inner.cfg.trace.is_enabled() {
+            self.inner.cfg.trace.instant(
+                Phase::Quarantine,
+                Attrs {
+                    tid: self.inner.worker_id as u32,
+                    tier: tier as i32,
+                    ..Attrs::NONE
+                },
+                vns(sim.now_secs()),
+            );
+        }
+        let evacuated = steps.len();
+        for step in steps {
+            let sub = self.inner.subgroups[step.subgroup];
+            let bytes = sub.state_bytes();
+            let dstart = sim.now_secs();
+            // Salvage read off the dying tier: timed, but not fed to the
+            // planner (the tier is excluded; its estimate is dead weight).
+            {
+                let lock = self.maybe_lock(step.from).await;
+                self.inner.env.tiers[step.from].read(bytes).await;
+                drop(lock);
+            }
+            {
+                let lock = self.maybe_lock(step.to).await;
+                let start = sim.now_secs();
+                self.inner.env.tiers[step.to].write(bytes).await;
+                let secs = sim.now_secs() - start;
+                drop(lock);
+                self.inner
+                    .state
+                    .borrow_mut()
+                    .planner
+                    .record(step.to, bytes, secs);
+            }
+            // Destination accounted by `write`; the source copy is
+            // released only once the survivor copy is durable.
+            self.inner.env.tiers[step.from].release(bytes);
+            self.inner.state.borrow_mut().placement[step.subgroup] = Placement::Tier(step.to);
+            if self.inner.cfg.trace.is_enabled() {
+                self.inner.cfg.trace.complete_span(
+                    Phase::Drain,
+                    Attrs {
+                        tid: self.inner.worker_id as u32,
+                        tier: step.to as i32,
+                        subgroup: step.subgroup as i64,
+                        bytes,
+                        ..Attrs::NONE
+                    },
+                    vns(dstart),
+                    vns(sim.now_secs()),
+                );
+            }
+        }
+        evacuated
     }
 
     /// Awaits every flush deferred by a previous update phase. A no-op
@@ -1186,6 +1273,53 @@ mod tests {
              (static {static_s:.2}s adaptive {adaptive_s:.2}s oracle {oracle_s:.2}s)",
             recovery * 100.0
         );
+    }
+
+    #[test]
+    fn quarantine_drains_the_tier_and_later_updates_avoid_it() {
+        let trace = mlp_trace::TraceSink::enabled();
+        let sim = Sim::new();
+        let env = NodeSimEnv::new(&sim, &node(vec![testbed1_nvme(), testbed1_pfs()]));
+        let mut cfg = EngineConfig::mlp_offload();
+        cfg.trace = trace.clone();
+        let w = SimWorker::new(env, 0, cfg, subgroups(12, 50_000_000));
+        for _ in 0..2 {
+            run_update_once(&w, &sim);
+        }
+        assert!(
+            w.tier_distribution().tier_bytes[1] > 0,
+            "the PFS tier must hold copies before the failure"
+        );
+
+        // The PFS tier dies: exclude it and evacuate in virtual time.
+        let evacuated = {
+            let ww = w.clone();
+            sim.block_on(async move {
+                ww.drain_flushes().await;
+                ww.quarantine_tier(1).await
+            })
+        };
+        assert!(evacuated > 0, "nothing was evacuated");
+        assert_eq!(
+            w.tier_distribution().tier_bytes[1],
+            0,
+            "the quarantined tier must be empty after the drain"
+        );
+        assert_eq!(
+            trace.metrics_snapshot().counter("planner.drains"),
+            Some(evacuated as u64)
+        );
+
+        // Training continues entirely off the dead tier.
+        for _ in 0..2 {
+            let s = run_update_once(&w, &sim);
+            assert_eq!(
+                s.bytes_written_by_tier[1], 0,
+                "a flush targeted the quarantined tier"
+            );
+            assert_eq!(s.migrations, 0, "nothing left to migrate off the dead tier");
+        }
+        assert_eq!(w.tier_distribution().tier_bytes[1], 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   interleaving.
 
 use std::collections::HashMap;
+use std::error::Error as StdError;
+use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +29,7 @@ use mlp_trace::{Attrs, Phase, TraceSink};
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
+use crate::clock::{wall_clock, Sleeper};
 
 // ---------------------------------------------------------------------------
 // Error taxonomy
@@ -65,12 +68,84 @@ pub fn classify(e: &io::Error) -> ErrorClass {
             return ErrorClass::Transient;
         }
     }
+    // Object-store failure modes (throttling, failed multipart parts,
+    // stale reads) are retried by every real S3 client.
+    if object_fault(e).is_some() {
+        return ErrorClass::Transient;
+    }
     ErrorClass::Permanent
 }
 
 /// Shorthand for `classify(e) == ErrorClass::Transient`.
 pub fn is_transient(e: &io::Error) -> bool {
     classify(e) == ErrorClass::Transient
+}
+
+/// Object-store-specific failure modes, carried as the payload of an
+/// `io::Error` so [`classify`] can recognize them without string
+/// matching. All three are *transient* by the taxonomy: an S3-style
+/// client retries a `SlowDown`, re-uploads a failed part, and re-reads
+/// until the PUT becomes visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectFault {
+    /// Request-rate throttling (HTTP 503 `SlowDown`): the store sheds
+    /// load; back off and retry.
+    Throttle,
+    /// One part of a multipart upload failed mid-stream; the upload as a
+    /// whole never became visible, so a retry re-drives the whole PUT.
+    MultipartPartFailed,
+    /// Read-after-PUT returned a stale or not-yet-visible version
+    /// (eventual-consistency lag); re-reading converges.
+    StaleRead,
+}
+
+impl ObjectFault {
+    /// Stable short name (used in error messages and test assertions).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjectFault::Throttle => "throttle",
+            ObjectFault::MultipartPartFailed => "multipart_part_failed",
+            ObjectFault::StaleRead => "stale_read",
+        }
+    }
+}
+
+/// The typed error payload wrapping an [`ObjectFault`].
+#[derive(Debug)]
+pub struct ObjectFaultError {
+    fault: ObjectFault,
+    detail: String,
+}
+
+impl ObjectFaultError {
+    /// Builds the carrying `io::Error` for a fault on `key`.
+    pub fn io_error(fault: ObjectFault, detail: impl Into<String>) -> io::Error {
+        io::Error::other(ObjectFaultError {
+            fault,
+            detail: detail.into(),
+        })
+    }
+
+    /// Which object-store failure mode this is.
+    pub fn fault(&self) -> ObjectFault {
+        self.fault
+    }
+}
+
+impl fmt::Display for ObjectFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object-store {}: {}", self.fault.as_str(), self.detail)
+    }
+}
+
+impl StdError for ObjectFaultError {}
+
+/// Extracts the object-store failure mode from an `io::Error`, if it
+/// carries one.
+pub fn object_fault(e: &io::Error) -> Option<ObjectFault> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ObjectFaultError>())
+        .map(|o| o.fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -100,6 +175,48 @@ pub struct FaultConfig {
     pub latency_spike_p: f64,
     /// Duration of an injected latency spike.
     pub latency_spike: Duration,
+    /// Probability that an op is throttled (object-store 503 `SlowDown`).
+    pub throttle_p: f64,
+    /// Probability that a write fails as a broken multipart part
+    /// (write-shaped ops only; the stored object stays untouched).
+    pub multipart_part_fail_p: f64,
+    /// Probability that a read observes eventual-consistency lag and
+    /// fails as a stale read-after-PUT (read-shaped ops only).
+    pub stale_read_p: f64,
+    /// Which op directions faults apply to. Defaults to [`FaultOps::All`];
+    /// [`FaultOps::WritesOnly`] models a tier that degrades on ingest
+    /// while existing durable copies stay readable — the shape the
+    /// quarantine-and-drain path evacuates.
+    pub ops: FaultOps,
+}
+
+/// Direction filter for fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOps {
+    /// Faults may hit reads, writes, and deletes.
+    All,
+    /// Faults only hit writes and deletes; reads pass through.
+    WritesOnly,
+    /// Faults only hit reads; writes and deletes pass through.
+    ReadsOnly,
+}
+
+impl FaultOps {
+    fn applies(self, shape: OpShape) -> bool {
+        match self {
+            FaultOps::All => true,
+            FaultOps::WritesOnly => matches!(shape, OpShape::Write | OpShape::Delete),
+            FaultOps::ReadsOnly => matches!(shape, OpShape::Read),
+        }
+    }
+}
+
+/// The direction of one injected-against operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpShape {
+    Read,
+    Write,
+    Delete,
 }
 
 impl FaultConfig {
@@ -112,6 +229,10 @@ impl FaultConfig {
             short_read_p: 0.0,
             latency_spike_p: 0.0,
             latency_spike: Duration::ZERO,
+            throttle_p: 0.0,
+            multipart_part_fail_p: 0.0,
+            stale_read_p: 0.0,
+            ops: FaultOps::All,
         }
     }
 
@@ -143,6 +264,30 @@ impl FaultConfig {
         self.latency_spike = spike;
         self
     }
+
+    /// Adds object-store throttling (`SlowDown`) at probability `p`.
+    pub fn with_throttling(mut self, p: f64) -> Self {
+        self.throttle_p = p;
+        self
+    }
+
+    /// Adds multipart-part failures on writes at probability `p`.
+    pub fn with_multipart_part_failures(mut self, p: f64) -> Self {
+        self.multipart_part_fail_p = p;
+        self
+    }
+
+    /// Adds stale read-after-PUT failures on reads at probability `p`.
+    pub fn with_stale_reads(mut self, p: f64) -> Self {
+        self.stale_read_p = p;
+        self
+    }
+
+    /// Restricts injection to the given op directions.
+    pub fn with_ops(mut self, ops: FaultOps) -> Self {
+        self.ops = ops;
+        self
+    }
 }
 
 /// Injection counters (all monotonic).
@@ -157,6 +302,13 @@ pub struct FaultCounts {
     pub short_reads: u64,
     /// Latency spikes injected.
     pub latency_spikes: u64,
+    /// Object-store throttles injected (also counted in `transient`).
+    pub throttles: u64,
+    /// Multipart-part failures injected (also counted in `transient`).
+    pub multipart_part_fails: u64,
+    /// Stale read-after-PUT failures injected (also counted in
+    /// `transient`).
+    pub stale_reads: u64,
     /// Operations that reached the inner backend unharmed.
     pub passed: u64,
 }
@@ -175,6 +327,9 @@ struct FaultStats {
     permanent: AtomicU64,
     short_reads: AtomicU64,
     latency_spikes: AtomicU64,
+    throttles: AtomicU64,
+    multipart_part_fails: AtomicU64,
+    stale_reads: AtomicU64,
     passed: AtomicU64,
 }
 
@@ -188,6 +343,9 @@ enum Verdict {
     Transient,
     Permanent,
     ShortRead,
+    Throttle,
+    MultipartPartFail,
+    StaleRead,
 }
 
 /// Backend decorator injecting deterministic faults around any inner
@@ -206,6 +364,9 @@ pub struct FaultInjectBackend {
     seq: Mutex<HashMap<String, u64>>,
     stats: FaultStats,
     armed: AtomicBool,
+    /// Delay source for latency spikes; [`crate::clock::WallClockSleeper`]
+    /// by default, a recording fake under deterministic tests.
+    sleeper: Arc<dyn Sleeper>,
     /// Observability sink: each injected fault drops a
     /// [`mlp_trace::Phase::FaultInject`] instant on the timeline, so a
     /// retry storm in the trace can be lined up with the injections that
@@ -225,6 +386,7 @@ impl FaultInjectBackend {
             seq: Mutex::new(HashMap::new()),
             stats: FaultStats::default(),
             armed: AtomicBool::new(true),
+            sleeper: wall_clock(),
             trace: TraceSink::disabled(),
         }
     }
@@ -233,6 +395,14 @@ impl FaultInjectBackend {
     /// [`mlp_trace::Phase::FaultInject`] instants.
     pub fn with_trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replaces the latency-spike delay source (a
+    /// [`crate::clock::FakeSleeper`] keeps deterministic suites off the
+    /// wall clock).
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.sleeper = sleeper;
         self
     }
 
@@ -258,6 +428,9 @@ impl FaultInjectBackend {
             permanent: self.stats.permanent.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
             short_reads: self.stats.short_reads.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
             latency_spikes: self.stats.latency_spikes.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            throttles: self.stats.throttles.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            multipart_part_fails: self.stats.multipart_part_fails.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
+            stale_reads: self.stats.stale_reads.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
             passed: self.stats.passed.load(Ordering::Relaxed), // relaxed-ok: stats snapshot
         }
     }
@@ -288,10 +461,11 @@ impl FaultInjectBackend {
     }
 
     /// Draws the verdict for one operation on `key`, applying any latency
-    /// spike as a side effect. `reads_can_be_short` gates short-read
-    /// injection to read-shaped ops.
-    fn decide(&self, key: &str, reads_can_be_short: bool) -> Verdict {
-        if !self.armed.load(Ordering::SeqCst) {
+    /// spike as a side effect. `shape` gates direction-specific faults
+    /// (short/stale reads, multipart-part failures) and the
+    /// [`FaultOps`] direction filter.
+    fn decide(&self, key: &str, shape: OpShape) -> Verdict {
+        if !self.armed.load(Ordering::SeqCst) || !self.cfg.ops.applies(shape) {
             self.stats.passed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             return Verdict::Pass;
         }
@@ -306,7 +480,7 @@ impl FaultInjectBackend {
         if self.cfg.latency_spike_p > 0.0 && self.roll(kh, seq, 1) < self.cfg.latency_spike_p {
             self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             self.note_injection();
-            std::thread::sleep(self.cfg.latency_spike);
+            self.sleeper.sleep(self.cfg.latency_spike);
         }
         let r = self.roll(kh, seq, 2);
         if r < self.cfg.permanent_error_p {
@@ -319,7 +493,7 @@ impl FaultInjectBackend {
             self.note_injection();
             return Verdict::Transient;
         }
-        if reads_can_be_short
+        if matches!(shape, OpShape::Read)
             && self.cfg.short_read_p > 0.0
             && self.roll(kh, seq, 3) < self.cfg.short_read_p
         {
@@ -327,6 +501,30 @@ impl FaultInjectBackend {
             self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
             self.note_injection();
             return Verdict::ShortRead;
+        }
+        if self.cfg.throttle_p > 0.0 && self.roll(kh, seq, 4) < self.cfg.throttle_p {
+            self.stats.throttles.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
+            return Verdict::Throttle;
+        }
+        if matches!(shape, OpShape::Write)
+            && self.cfg.multipart_part_fail_p > 0.0
+            && self.roll(kh, seq, 5) < self.cfg.multipart_part_fail_p
+        {
+            self.stats.multipart_part_fails.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
+            return Verdict::MultipartPartFail;
+        }
+        if matches!(shape, OpShape::Read)
+            && self.cfg.stale_read_p > 0.0
+            && self.roll(kh, seq, 6) < self.cfg.stale_read_p
+        {
+            self.stats.stale_reads.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.stats.transient.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
+            self.note_injection();
+            return Verdict::StaleRead;
         }
         self.stats.passed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic stats counter
         Verdict::Pass
@@ -345,24 +543,52 @@ impl FaultInjectBackend {
             format!("injected permanent I/O fault on {key}"),
         )
     }
+
+    fn throttle_error(key: &str) -> io::Error {
+        ObjectFaultError::io_error(
+            ObjectFault::Throttle,
+            format!("injected 503 SlowDown on {key}"),
+        )
+    }
+
+    fn multipart_error(key: &str) -> io::Error {
+        ObjectFaultError::io_error(
+            ObjectFault::MultipartPartFailed,
+            format!("injected multipart part failure on {key}"),
+        )
+    }
+
+    fn stale_read_error(key: &str) -> io::Error {
+        ObjectFaultError::io_error(
+            ObjectFault::StaleRead,
+            format!("injected stale read-after-PUT on {key}"),
+        )
+    }
 }
 
 impl Backend for FaultInjectBackend {
     fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
-        match self.decide(key, false) {
+        match self.decide(key, OpShape::Write) {
             // A failed write never tears the stored object: the fault
             // fires before the inner backend is touched, matching the
-            // atomic write-then-rename guarantee of `DirBackend`.
+            // atomic write-then-rename guarantee of `DirBackend` and the
+            // all-or-nothing multipart publish of `ObjectBackend`.
             Verdict::Transient => Err(Self::transient_error(key)),
             Verdict::Permanent => Err(Self::permanent_error(key)),
+            Verdict::Throttle => Err(Self::throttle_error(key)),
+            Verdict::MultipartPartFail => Err(Self::multipart_error(key)),
             _ => self.inner.write(key, data),
         }
     }
 
     fn read(&self, key: &str) -> io::Result<Vec<u8>> {
-        match self.decide(key, true) {
+        match self.decide(key, OpShape::Read) {
             Verdict::Transient => Err(Self::transient_error(key)),
             Verdict::Permanent => Err(Self::permanent_error(key)),
+            Verdict::Throttle => Err(Self::throttle_error(key)),
+            Verdict::StaleRead => Err(Self::stale_read_error(key)),
+            // Gated to write-shaped ops in `decide`; kept panic-free.
+            Verdict::MultipartPartFail => Err(Self::transient_error(key)),
             Verdict::ShortRead => Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 format!("injected short read on {key}"),
@@ -372,9 +598,13 @@ impl Backend for FaultInjectBackend {
     }
 
     fn read_into(&self, key: &str, dst: &mut [u8]) -> io::Result<usize> {
-        match self.decide(key, true) {
+        match self.decide(key, OpShape::Read) {
             Verdict::Transient => Err(Self::transient_error(key)),
             Verdict::Permanent => Err(Self::permanent_error(key)),
+            Verdict::Throttle => Err(Self::throttle_error(key)),
+            Verdict::StaleRead => Err(Self::stale_read_error(key)),
+            // Gated to write-shaped ops in `decide`; kept panic-free.
+            Verdict::MultipartPartFail => Err(Self::transient_error(key)),
             Verdict::ShortRead => {
                 // Land a genuine partial prefix in the caller's buffer —
                 // a retry must fully overwrite it.
@@ -395,9 +625,10 @@ impl Backend for FaultInjectBackend {
     }
 
     fn delete(&self, key: &str) -> io::Result<()> {
-        match self.decide(key, false) {
+        match self.decide(key, OpShape::Delete) {
             Verdict::Transient => Err(Self::transient_error(key)),
             Verdict::Permanent => Err(Self::permanent_error(key)),
+            Verdict::Throttle => Err(Self::throttle_error(key)),
             _ => self.inner.delete(key),
         }
     }
@@ -520,6 +751,97 @@ mod tests {
         let t0 = std::time::Instant::now();
         assert_eq!(b.read("k").unwrap().len(), 64);
         assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(b.counts().latency_spikes, 1);
+    }
+
+    #[test]
+    fn throttle_surfaces_typed_transient_slowdown() {
+        let b = faulty(FaultConfig::none(11).with_throttling(1.0));
+        let e = b.read("k").unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::Throttle));
+        assert!(is_transient(&e), "{e}");
+        assert!(e.to_string().contains("SlowDown"), "{e}");
+        let e = b.write("k", &[1]).unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::Throttle));
+        let e = b.delete("k").unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::Throttle));
+        assert_eq!(b.counts().throttles, 3);
+        assert_eq!(b.counts().transient, 3, "throttles count as transient");
+    }
+
+    #[test]
+    fn multipart_part_failure_hits_writes_only_and_never_tears() {
+        let b = faulty(FaultConfig::none(12).with_multipart_part_failures(1.0));
+        let e = b.write("k", &[9u8; 32]).unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::MultipartPartFailed));
+        assert!(is_transient(&e), "{e}");
+        // Reads are not write-shaped: they pass.
+        assert_eq!(b.read("k").unwrap(), vec![7u8; 64], "prior object intact");
+        assert_eq!(b.counts().multipart_part_fails, 1);
+    }
+
+    #[test]
+    fn stale_read_after_put_hits_reads_only() {
+        let b = faulty(FaultConfig::none(13).with_stale_reads(1.0));
+        b.write("k", &[1u8; 8]).unwrap();
+        let e = b.read("k").unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::StaleRead));
+        assert!(is_transient(&e), "{e}");
+        let mut dst = [0u8; 8];
+        let e = b.read_into("k", &mut dst).unwrap_err();
+        assert_eq!(object_fault(&e), Some(ObjectFault::StaleRead));
+        assert_eq!(b.counts().stale_reads, 2);
+        // A re-read converges once injection stops (the retry contract).
+        b.set_armed(false);
+        assert_eq!(b.read("k").unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn object_faults_all_classify_transient() {
+        for f in [
+            ObjectFault::Throttle,
+            ObjectFault::MultipartPartFailed,
+            ObjectFault::StaleRead,
+        ] {
+            let e = ObjectFaultError::io_error(f, "x");
+            assert_eq!(classify(&e), ErrorClass::Transient, "{f:?}");
+            assert_eq!(object_fault(&e), Some(f));
+        }
+        // A bare Other error without the payload stays permanent.
+        assert_eq!(classify(&io::Error::other("x")), ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn writes_only_faults_leave_reads_untouched() {
+        let b = faulty(
+            FaultConfig::permanent(21, 1.0).with_ops(FaultOps::WritesOnly),
+        );
+        for _ in 0..10 {
+            assert_eq!(b.read("k").unwrap(), vec![7u8; 64]);
+        }
+        assert!(b.write("k", &[1]).is_err());
+        assert!(b.delete("k").is_err());
+        assert_eq!(b.counts().permanent, 2);
+    }
+
+    #[test]
+    fn latency_spikes_route_through_injected_sleeper() {
+        let sleeper = crate::clock::FakeSleeper::shared();
+        let inner = Arc::new(MemBackend::new("mem"));
+        inner.write("k", &[7u8; 64]).unwrap();
+        let b = FaultInjectBackend::new(
+            inner,
+            FaultConfig::none(3).with_latency_spikes(1.0, Duration::from_secs(30)),
+        )
+        .with_sleeper(sleeper.clone());
+        let t0 = std::time::Instant::now();
+        assert_eq!(b.read("k").unwrap().len(), 64);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "fake sleeper must not block"
+        );
+        assert_eq!(sleeper.sleeps(), 1);
+        assert_eq!(sleeper.total_slept(), Duration::from_secs(30));
         assert_eq!(b.counts().latency_spikes, 1);
     }
 

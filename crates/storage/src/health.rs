@@ -1,0 +1,743 @@
+//! Per-tier health supervision: circuit breakers over the error
+//! taxonomy and latency SLOs.
+//!
+//! Retries (PR 2) absorb *transient* faults and re-planning (PR 7)
+//! absorbs *slow* tiers — but neither handles a tier that keeps failing
+//! after retry exhaustion or keeps blowing its latency budget. This
+//! module closes that gap with a classic circuit breaker per tier:
+//!
+//! ```text
+//!            failures ≥ threshold                cooldown elapsed
+//!  Closed ───────────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!    ▲                                  ▲                               │
+//!    │    probe successes ≥ threshold   │      any probe failure        │
+//!    └──────────────────────────────────┼───────────────────────────────┘
+//!                                       │
+//!                    trips ≥ max_trips  ▼
+//!                                  Quarantined   (permanently open)
+//! ```
+//!
+//! Every transition is **deterministic in the op stream**: trips are
+//! driven by consecutive-failure and consecutive-SLO-violation counts,
+//! and the open→half-open cooldown is counted in *rejected ops*, not
+//! wall-clock time — so seeded fault tests reproduce the same breaker
+//! trajectory on every run. When a breaker reaches [`Quarantined`] the
+//! engines evacuate the tier's durable copies (quarantine-and-drain,
+//! DESIGN.md §15) instead of retrying into it forever.
+//!
+//! [`Quarantined`]: BreakerState::Quarantined
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlp_trace::TraceSink;
+use parking_lot::Mutex;
+
+use crate::backend::{Backend, RawFileTarget};
+
+/// The breaker state machine's position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: every op is allowed; failures and SLO violations are
+    /// being counted.
+    Closed,
+    /// Tripped: ops are rejected while the tier cools down.
+    Open,
+    /// Probing: a limited number of ops are let through; enough
+    /// successes close the breaker, any failure re-opens it.
+    HalfOpen,
+    /// Permanently open: the tier has tripped too many times in a row
+    /// and is quarantined — no op will ever be allowed again and its
+    /// durable state should be drained to surviving tiers.
+    Quarantined,
+}
+
+impl BreakerState {
+    /// Stable name for logs and meters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Quarantined => "quarantined",
+        }
+    }
+
+    /// Numeric encoding for the `health.{tier}.state` gauge
+    /// (0 closed, 1 half-open, 2 open, 3 quarantined — ordered by
+    /// severity so the gauge reads as "how broken").
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+            BreakerState::Quarantined => 3,
+        }
+    }
+}
+
+/// Breaker thresholds. Every knob is a count, not a duration (except
+/// the SLO itself), keeping the state machine deterministic under
+/// seeded fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Consecutive post-retry failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Per-op latency budget; `None` disables SLO-driven trips.
+    pub latency_slo: Option<Duration>,
+    /// Consecutive SLO violations that trip a closed breaker (a slow
+    /// tier is a failing tier, just politer about it).
+    pub slo_violation_threshold: u32,
+    /// Rejected ops an open breaker absorbs before letting probe
+    /// traffic through (the deterministic stand-in for a cooldown
+    /// timer).
+    pub cooldown_rejections: u32,
+    /// Probe successes required in half-open to close the breaker.
+    pub probe_successes: u32,
+    /// Consecutive trips (without an intervening close) after which the
+    /// breaker latches [`BreakerState::Quarantined`].
+    pub max_trips: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 3,
+            latency_slo: None,
+            slo_violation_threshold: 8,
+            cooldown_rejections: 4,
+            probe_successes: 2,
+            max_trips: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Adds a latency SLO: `violations` consecutive ops over `slo` trip
+    /// the breaker.
+    pub fn with_latency_slo(mut self, slo: Duration, violations: u32) -> Self {
+        self.latency_slo = Some(slo);
+        self.slo_violation_threshold = violations.max(1);
+        self
+    }
+
+    /// A hair-trigger preset for tests: one failure trips, one trip
+    /// quarantines.
+    pub fn hair_trigger() -> Self {
+        HealthConfig {
+            failure_threshold: 1,
+            latency_slo: None,
+            slo_violation_threshold: 1,
+            cooldown_rejections: 1,
+            probe_successes: 1,
+            max_trips: 1,
+        }
+    }
+}
+
+/// Counter snapshot for assertions and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCounts {
+    /// Post-retry failures recorded.
+    pub failures: u64,
+    /// Latency-SLO violations recorded.
+    pub slo_violations: u64,
+    /// Closed/half-open → open transitions.
+    pub trips: u64,
+    /// Ops rejected while open or quarantined.
+    pub rejected: u64,
+    /// Probe ops admitted in half-open.
+    pub probes: u64,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    consecutive_slo_violations: u32,
+    /// Rejections absorbed since the breaker last opened.
+    rejections_since_open: u32,
+    /// Probe successes since entering half-open.
+    probe_successes: u32,
+    /// Trips since the breaker last closed.
+    trips_since_close: u32,
+    counts: HealthCounts,
+}
+
+/// One tier's circuit breaker. Thread-safe; clone the [`Arc`] into
+/// every layer that observes the tier (the AIO engine records op
+/// outcomes, the planner reads the state at iteration boundaries).
+pub struct TierHealth {
+    name: String,
+    cfg: HealthConfig,
+    inner: Mutex<Inner>,
+    trace: TraceSink,
+}
+
+impl TierHealth {
+    /// A closed breaker for the tier named `name` (the meter-family
+    /// key: `health.{name}.*`).
+    pub fn new(name: impl Into<String>, cfg: HealthConfig) -> Arc<TierHealth> {
+        Arc::new(TierHealth {
+            name: name.into(),
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                consecutive_slo_violations: 0,
+                rejections_since_open: 0,
+                probe_successes: 0,
+                trips_since_close: 0,
+                counts: HealthCounts::default(),
+            }),
+            trace: TraceSink::disabled(),
+        })
+    }
+
+    /// As [`TierHealth::new`] with an observability sink: state changes
+    /// and counts land on `health.{tier}.*` meters.
+    pub fn with_trace(
+        name: impl Into<String>,
+        cfg: HealthConfig,
+        trace: TraceSink,
+    ) -> Arc<TierHealth> {
+        let name = name.into();
+        let h = TierHealth {
+            name,
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                consecutive_slo_violations: 0,
+                rejections_since_open: 0,
+                probe_successes: 0,
+                trips_since_close: 0,
+                counts: HealthCounts::default(),
+            }),
+            trace,
+        };
+        h.publish_state(BreakerState::Closed);
+        Arc::new(h)
+    }
+
+    /// The tier name this breaker supervises.
+    pub fn tier_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    fn publish_state(&self, state: BreakerState) {
+        if self.trace.is_enabled() {
+            self.trace
+                .gauge(&format!("health.{}.state", self.name))
+                .set(state.as_gauge());
+        }
+    }
+
+    fn bump(&self, meter: &str, by: u64) {
+        if self.trace.is_enabled() {
+            self.trace
+                .counter(&format!("health.{}.{meter}", self.name))
+                .add(by);
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner) {
+        inner.counts.trips += 1;
+        inner.trips_since_close += 1;
+        inner.consecutive_failures = 0;
+        inner.consecutive_slo_violations = 0;
+        inner.rejections_since_open = 0;
+        inner.probe_successes = 0;
+        inner.state = if inner.trips_since_close >= self.cfg.max_trips {
+            BreakerState::Quarantined
+        } else {
+            BreakerState::Open
+        };
+        self.bump("trips", 1);
+        self.publish_state(inner.state);
+    }
+
+    /// Asks whether the next op against this tier should be issued.
+    /// While open, each rejection counts toward the cooldown; once the
+    /// budget is absorbed the breaker moves to half-open and admits
+    /// probe traffic.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                inner.counts.probes += 1;
+                self.bump("probes", 1);
+                true
+            }
+            BreakerState::Quarantined => {
+                inner.counts.rejected += 1;
+                self.bump("rejected", 1);
+                false
+            }
+            BreakerState::Open => {
+                inner.rejections_since_open += 1;
+                inner.counts.rejected += 1;
+                self.bump("rejected", 1);
+                if inner.rejections_since_open >= self.cfg.cooldown_rejections {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_successes = 0;
+                    self.publish_state(BreakerState::HalfOpen);
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a successful op and its observed latency. In half-open,
+    /// enough successes close the breaker; in closed, an SLO violation
+    /// streak trips it.
+    pub fn record_success(&self, latency: Duration) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Quarantined => {}
+            BreakerState::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.cfg.probe_successes {
+                    inner.state = BreakerState::Closed;
+                    inner.trips_since_close = 0;
+                    inner.consecutive_failures = 0;
+                    inner.consecutive_slo_violations = 0;
+                    self.publish_state(BreakerState::Closed);
+                }
+            }
+            BreakerState::Closed | BreakerState::Open => {
+                inner.consecutive_failures = 0;
+                let violated = self
+                    .cfg
+                    .latency_slo
+                    .is_some_and(|slo| latency > slo);
+                if violated {
+                    inner.consecutive_slo_violations += 1;
+                    inner.counts.slo_violations += 1;
+                    self.bump("slo_violations", 1);
+                    if inner.state == BreakerState::Closed
+                        && inner.consecutive_slo_violations >= self.cfg.slo_violation_threshold
+                    {
+                        self.trip(&mut inner);
+                    }
+                } else {
+                    inner.consecutive_slo_violations = 0;
+                }
+            }
+        }
+    }
+
+    /// Records a post-retry failure. The caller reports the error *after*
+    /// the retry layer resolved it — a transient error that exhausted its
+    /// retry budget is just as much a failure as a permanent one; the
+    /// class only flavors accounting.
+    pub fn record_failure(&self, _e: &io::Error) {
+        let mut inner = self.inner.lock();
+        inner.counts.failures += 1;
+        self.bump("failures", 1);
+        match inner.state {
+            BreakerState::Quarantined | BreakerState::Open => {}
+            BreakerState::HalfOpen => {
+                // A failed probe re-opens immediately (and may latch
+                // quarantine via the trip counter).
+                self.trip(&mut inner);
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(&mut inner);
+                }
+            }
+        }
+    }
+
+    /// Latches the breaker permanently open, as if it had exhausted its
+    /// trip budget (operator-driven quarantine, or an engine reacting to
+    /// unrecoverable data loss).
+    pub fn quarantine(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state != BreakerState::Quarantined {
+            inner.counts.trips += 1;
+            inner.state = BreakerState::Quarantined;
+            self.bump("trips", 1);
+            self.publish_state(BreakerState::Quarantined);
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Whether the breaker has latched permanently open.
+    pub fn is_quarantined(&self) -> bool {
+        self.state() == BreakerState::Quarantined
+    }
+
+    /// Counter snapshot.
+    pub fn counts(&self) -> HealthCounts {
+        self.inner.lock().counts
+    }
+}
+
+/// The breakers for one engine's tier set, indexed like its tiers.
+#[derive(Clone)]
+pub struct TierHealthSet {
+    tiers: Vec<Arc<TierHealth>>,
+}
+
+impl TierHealthSet {
+    /// One breaker per tier name, all sharing `cfg` and `trace`.
+    pub fn new(names: &[&str], cfg: HealthConfig, trace: TraceSink) -> TierHealthSet {
+        TierHealthSet {
+            tiers: names
+                .iter()
+                .map(|n| TierHealth::with_trace(*n, cfg.clone(), trace.clone()))
+                .collect(),
+        }
+    }
+
+    /// Wraps pre-built breakers (e.g. shared with per-tier AIO engines).
+    pub fn from_tiers(tiers: Vec<Arc<TierHealth>>) -> TierHealthSet {
+        TierHealthSet { tiers }
+    }
+
+    /// The breaker for tier `i`, if the index is in range.
+    pub fn tier(&self, i: usize) -> Option<&Arc<TierHealth>> {
+        self.tiers.get(i)
+    }
+
+    /// Number of supervised tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Whether the set supervises no tiers.
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Indices of tiers whose breakers have latched permanently open.
+    pub fn quarantined_indices(&self) -> Vec<usize> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_quarantined())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Iterates the breakers in tier order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<TierHealth>> {
+        self.tiers.iter()
+    }
+}
+
+/// The typed rejection an open or quarantined breaker returns in place
+/// of issuing the op. Deliberately **permanent** under [`classify`]
+/// (crate::classify): retrying into an open breaker is pointless — the
+/// open→half-open cooldown is counted in *fresh* ops hitting
+/// [`TierHealth::allow`], not in retry spins of one op.
+pub fn breaker_rejection(tier: &str, state: BreakerState) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionRefused,
+        format!("tier {tier} circuit breaker is {}: op rejected", state.as_str()),
+    )
+}
+
+/// A [`Backend`] decorator that routes every data op through the tier's
+/// circuit breaker: ops are refused with a typed
+/// [`breaker_rejection`] while the breaker is open or quarantined, and
+/// every completed op feeds the breaker back — successes with their
+/// observed latency (driving the SLO trip), failures as-is.
+///
+/// Layering (see DESIGN.md §15): the gate sits *under* the AIO retry
+/// layer, so each backend attempt is accounted — a retry storm against a
+/// dying tier reaches the failure threshold faster, which is the point.
+/// Metadata ops (`contains`) and the raw-file escape hatch are not
+/// gated: `contains` serves verification/drain bookkeeping, and
+/// declining `raw_target` keeps kernel-backed engines on the gated
+/// portable path.
+pub struct HealthGatedBackend {
+    inner: Arc<dyn Backend>,
+    health: Arc<TierHealth>,
+}
+
+impl HealthGatedBackend {
+    /// Gates `inner` behind `health`.
+    pub fn new(inner: Arc<dyn Backend>, health: Arc<TierHealth>) -> HealthGatedBackend {
+        HealthGatedBackend { inner, health }
+    }
+
+    /// The breaker this gate consults.
+    pub fn health(&self) -> &Arc<TierHealth> {
+        &self.health
+    }
+
+    /// The ungated backend — the evacuation path: quarantine-and-drain
+    /// reads a dying tier's surviving copies through this even though
+    /// the gate refuses normal traffic.
+    pub fn inner(&self) -> &Arc<dyn Backend> {
+        &self.inner
+    }
+
+    fn gate(&self) -> io::Result<()> {
+        if self.health.allow() {
+            Ok(())
+        } else {
+            Err(breaker_rejection(self.health.tier_name(), self.health.state()))
+        }
+    }
+
+    fn observe<T>(&self, started: Instant, result: io::Result<T>) -> io::Result<T> {
+        match &result {
+            Ok(_) => self.health.record_success(started.elapsed()),
+            Err(e) => self.health.record_failure(e),
+        }
+        result
+    }
+}
+
+impl Backend for HealthGatedBackend {
+    fn write(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        let started = Instant::now();
+        self.observe(started, self.inner.write(key, data))
+    }
+
+    fn read(&self, key: &str) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        let started = Instant::now();
+        self.observe(started, self.inner.read(key))
+    }
+
+    fn read_into(&self, key: &str, dst: &mut [u8]) -> io::Result<usize> {
+        self.gate()?;
+        let started = Instant::now();
+        let result = self.inner.read_into(key, dst);
+        self.observe(started, result)
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        self.gate()?;
+        let started = Instant::now();
+        self.observe(started, self.inner.delete(key))
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn raw_target(&self, _key: &str) -> Option<RawFileTarget> {
+        None // decorators stay on the data path (see Backend docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure() -> io::Error {
+        io::Error::new(io::ErrorKind::PermissionDenied, "dead tier")
+    }
+
+    #[test]
+    fn stays_closed_under_success() {
+        let h = TierHealth::new("nvme", HealthConfig::default());
+        for _ in 0..100 {
+            assert!(h.allow());
+            h.record_success(Duration::from_micros(50));
+        }
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.counts().trips, 0);
+    }
+
+    #[test]
+    fn consecutive_failures_trip_then_cooldown_then_probe_closes() {
+        let cfg = HealthConfig {
+            failure_threshold: 3,
+            cooldown_rejections: 2,
+            probe_successes: 2,
+            max_trips: 5,
+            ..HealthConfig::default()
+        };
+        let h = TierHealth::new("pfs", cfg);
+        // Two failures with a success in between: no trip (consecutive).
+        h.record_failure(&failure());
+        h.record_failure(&failure());
+        h.record_success(Duration::ZERO);
+        h.record_failure(&failure());
+        h.record_failure(&failure());
+        assert_eq!(h.state(), BreakerState::Closed);
+        h.record_failure(&failure());
+        assert_eq!(h.state(), BreakerState::Open, "third consecutive trips");
+        // Cooldown: two rejections, then half-open.
+        assert!(!h.allow());
+        assert_eq!(h.state(), BreakerState::Open);
+        assert!(!h.allow());
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        // Probe successes close it.
+        assert!(h.allow());
+        h.record_success(Duration::ZERO);
+        assert!(h.allow());
+        h.record_success(Duration::ZERO);
+        assert_eq!(h.state(), BreakerState::Closed);
+        let c = h.counts();
+        assert_eq!(c.trips, 1);
+        assert_eq!(c.rejected, 2);
+        assert_eq!(c.probes, 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_repeated_trips_quarantine() {
+        let cfg = HealthConfig {
+            failure_threshold: 1,
+            cooldown_rejections: 1,
+            probe_successes: 1,
+            max_trips: 2,
+            ..HealthConfig::default()
+        };
+        let h = TierHealth::new("s3", cfg);
+        h.record_failure(&failure());
+        assert_eq!(h.state(), BreakerState::Open);
+        assert!(!h.allow()); // cooldown absorbed → half-open
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        assert!(h.allow()); // probe admitted
+        h.record_failure(&failure()); // probe fails → second trip → latch
+        assert_eq!(h.state(), BreakerState::Quarantined);
+        assert!(h.is_quarantined());
+        // Quarantine is permanent: successes cannot revive it.
+        assert!(!h.allow());
+        h.record_success(Duration::ZERO);
+        assert_eq!(h.state(), BreakerState::Quarantined);
+    }
+
+    #[test]
+    fn latency_slo_streak_trips_like_failures() {
+        let cfg = HealthConfig::default().with_latency_slo(Duration::from_millis(1), 3);
+        let h = TierHealth::new("pfs", cfg);
+        let slow = Duration::from_millis(50);
+        h.record_success(slow);
+        h.record_success(slow);
+        // A fast op resets the streak.
+        h.record_success(Duration::from_micros(10));
+        h.record_success(slow);
+        h.record_success(slow);
+        assert_eq!(h.state(), BreakerState::Closed);
+        h.record_success(slow);
+        assert_eq!(h.state(), BreakerState::Open, "3 consecutive SLO misses");
+        assert_eq!(h.counts().slo_violations, 5);
+    }
+
+    #[test]
+    fn explicit_quarantine_latches() {
+        let h = TierHealth::new("nvme", HealthConfig::default());
+        h.quarantine();
+        assert!(h.is_quarantined());
+        assert!(!h.allow());
+        assert_eq!(h.counts().trips, 1);
+        h.quarantine(); // idempotent
+        assert_eq!(h.counts().trips, 1);
+    }
+
+    #[test]
+    fn health_set_reports_quarantined_indices() {
+        let set = TierHealthSet::new(
+            &["nvme", "pfs", "s3"],
+            HealthConfig::hair_trigger(),
+            TraceSink::disabled(),
+        );
+        assert!(set.quarantined_indices().is_empty());
+        set.tier(1).unwrap().record_failure(&failure());
+        assert_eq!(
+            set.tier(1).unwrap().state(),
+            BreakerState::Quarantined,
+            "hair trigger: one failure, one trip, immediate latch"
+        );
+        assert_eq!(set.quarantined_indices(), vec![1]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn gated_backend_feeds_the_breaker_and_rejects_once_tripped() {
+        use crate::backend::MemBackend;
+        use crate::fault::{classify, ErrorClass};
+
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new("nvme"));
+        let cfg = HealthConfig {
+            failure_threshold: 2,
+            max_trips: 1,
+            ..HealthConfig::default()
+        };
+        let health = TierHealth::new("nvme", cfg);
+        let gated = HealthGatedBackend::new(inner, Arc::clone(&health));
+
+        // Successful ops pass through and keep the breaker closed.
+        gated.write("k", b"payload").unwrap();
+        assert_eq!(gated.read("k").unwrap(), b"payload");
+        assert_eq!(health.state(), BreakerState::Closed);
+
+        // Two real failures (missing key) trip it; one trip latches
+        // quarantine under max_trips = 1.
+        assert!(gated.read("missing").is_err());
+        assert!(gated.read("missing").is_err());
+        assert!(health.is_quarantined());
+        assert_eq!(health.counts().failures, 2);
+
+        // From here every data op is refused with the typed rejection —
+        // permanent under the taxonomy, so retry layers stop dead — and
+        // the inner backend is never touched.
+        let err = gated.write("k2", b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(classify(&err), ErrorClass::Permanent);
+        assert!(!gated.inner().contains("k2"));
+    }
+
+    #[test]
+    fn gated_backend_leaves_metadata_and_salvage_paths_open() {
+        use crate::backend::MemBackend;
+
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new("nvme"));
+        let health = TierHealth::new("nvme", HealthConfig::default());
+        let gated = HealthGatedBackend::new(Arc::clone(&inner), Arc::clone(&health));
+        gated.write("sub0", b"copy").unwrap();
+        health.quarantine();
+
+        // `contains` is not gated (verification bookkeeping) and the
+        // ungated inner handle still serves evacuation reads.
+        assert!(gated.contains("sub0"));
+        assert!(gated.read("sub0").is_err(), "data path is refused");
+        assert_eq!(gated.inner().read("sub0").unwrap(), b"copy");
+        // Decorators decline the raw-file escape hatch.
+        assert!(gated.raw_target("sub0").is_none());
+        assert_eq!(gated.name(), "nvme");
+    }
+
+    #[test]
+    fn meters_track_state_and_counts() {
+        let sink = TraceSink::enabled();
+        let h = TierHealth::with_trace("nvme", HealthConfig::hair_trigger(), sink.clone());
+        h.record_failure(&failure());
+        assert!(!h.allow());
+        let snap = sink.metrics_snapshot();
+        assert_eq!(snap.counter("health.nvme.failures"), Some(1));
+        assert_eq!(snap.counter("health.nvme.trips"), Some(1));
+        assert_eq!(snap.counter("health.nvme.rejected"), Some(1));
+        let state = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "health.nvme.state")
+            .map(|(_, v)| *v);
+        assert_eq!(state, Some(BreakerState::Quarantined.as_gauge()));
+    }
+}

@@ -20,14 +20,23 @@
 //! * [`integrity`] — CRC-32 framing that turns silent corruption of
 //!   offloaded state into an I/O error at fetch time.
 //! * [`fault`] — the transient/permanent error taxonomy shared with the
-//!   retry layer, and a deterministic (seeded) fault-injecting backend
-//!   decorator for exercising it.
+//!   retry layer (including object-store failure modes: throttling,
+//!   failed multipart parts, stale reads), and a deterministic (seeded)
+//!   fault-injecting backend decorator for exercising it.
+//! * [`clock`] — the injectable [`Sleeper`] behind every deliberate
+//!   delay (retry backoff, latency spikes), so deterministic suites run
+//!   off a fake instead of the wall clock.
+//! * [`health`] — per-tier circuit breakers (closed/open/half-open/
+//!   quarantined) over the error taxonomy and latency SLOs; the signal
+//!   the quarantine-and-drain path reacts to.
 //! * [`object`] — an emulated S3-like object store (first-byte latency,
 //!   per-stream bandwidth, multipart upload, coalesced range GETs, no
 //!   rename), the third-level tier behind NVMe and the PFS.
 
 pub mod backend;
+pub mod clock;
 pub mod fault;
+pub mod health;
 pub mod integrity;
 pub mod microbench;
 pub mod object;
@@ -36,7 +45,14 @@ pub mod spec;
 pub mod traced;
 
 pub use backend::{unique_tmp_sibling, Backend, DirBackend, MemBackend, RawFileTarget};
-pub use fault::{classify, is_transient, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend};
+pub use clock::{wall_clock, FakeSleeper, Sleeper, WallClockSleeper};
+pub use fault::{
+    classify, is_transient, object_fault, ErrorClass, FaultConfig, FaultCounts, FaultInjectBackend,
+    FaultOps, ObjectFault, ObjectFaultError,
+};
+pub use health::{
+    breaker_rejection, BreakerState, HealthConfig, HealthGatedBackend, TierHealth, TierHealthSet,
+};
 pub use integrity::ChecksummedBackend;
 pub use object::{coalesce_ranges, ObjectBackend, ObjectConfig};
 pub use sim_tier::SimTier;

@@ -80,6 +80,15 @@ pub enum Phase {
     /// the object store (span): the slow second hop of the multi-tier
     /// checkpoint pipeline, fully off the critical path.
     CkptTrickle,
+    /// A tier's circuit breaker latched permanently open (instant):
+    /// from here on the tier is excluded from placement and its durable
+    /// copies are evacuated. `tier` identifies the quarantined tier.
+    Quarantine,
+    /// One durable subgroup copy evacuated off a quarantined tier
+    /// (span): read from the dying tier, write to a survivor, update the
+    /// placement, best-effort delete of the source. `tier` is the
+    /// destination; `bytes` the copy size.
+    Drain,
 }
 
 /// All phases, in a fixed order (used by exporters and tests).
@@ -107,6 +116,8 @@ pub const ALL_PHASES: &[Phase] = &[
     Phase::Migrate,
     Phase::CkptFlush,
     Phase::CkptTrickle,
+    Phase::Quarantine,
+    Phase::Drain,
 ];
 
 impl Phase {
@@ -136,6 +147,8 @@ impl Phase {
             Phase::Migrate => "migrate",
             Phase::CkptFlush => "ckpt_flush",
             Phase::CkptTrickle => "ckpt_trickle",
+            Phase::Quarantine => "quarantine",
+            Phase::Drain => "drain",
         }
     }
 
